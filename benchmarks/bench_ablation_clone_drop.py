@@ -1,0 +1,49 @@
+"""Ablation: the server-side stale-clone drop (§3.4).
+
+The switch clones on *tracked* state; by the time the clone arrives
+the server may be busy.  NetClone drops such clones at the server when
+the queue is non-empty.  This bench disables that rule
+(``netclone-noclonedrop``) and compares tail latency at mid and high
+load.  Expected shape: without the drop, stale clones consume worker
+time exactly when the cluster is busiest, inflating p99.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.experiments.common import ClusterConfig, run_point
+from repro.experiments.harness import capacity_rps, scaled_config
+from repro.metrics.tables import format_table
+
+
+def measure(scale: float, seed: int) -> str:
+    base = scaled_config(ClusterConfig(seed=seed), scale)
+    capacity = capacity_rps(6 * 15, base.workload.mean_service_ns)
+    rows = []
+    for fraction in (0.5, 0.7, 0.9):
+        with_drop = run_point(
+            replace(base, scheme="netclone", rate_rps=capacity * fraction)
+        )
+        without_drop = run_point(
+            replace(base, scheme="netclone-noclonedrop", rate_rps=capacity * fraction)
+        )
+        rows.append(
+            (
+                f"{fraction * 100:.0f}%",
+                f"{with_drop.p99_us:.0f}",
+                f"{without_drop.p99_us:.0f}",
+                f"{with_drop.extra['clones_dropped']:.0f}",
+            )
+        )
+    report = "== Ablation: server-side stale-clone drop (p99 us) ==\n"
+    report += format_table(
+        ["load", "with drop", "without drop", "clones dropped"], rows
+    )
+    print(report)
+    return report
+
+
+def bench_ablation_clone_drop(benchmark, bench_scale, bench_seed):
+    report = run_once(benchmark, measure, scale=bench_scale, seed=bench_seed)
+    assert "with drop" in report

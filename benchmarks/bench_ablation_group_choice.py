@@ -1,0 +1,72 @@
+"""Ablation: ordered vs unordered candidate pairs (§3.3).
+
+The paper installs every *ordered* pair — n·(n−1) groups — because
+non-cloned requests go to the first candidate, so dropping the
+reversed pairs biases load toward low-numbered servers.  This bench
+runs NetClone with the full ordered set and with only the i<j half and
+measures per-server load imbalance and tail latency.  Expected shape:
+the unordered half skews requests toward low server IDs and costs tail
+latency at load.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.groups import build_group_pairs
+from repro.experiments.common import Cluster, ClusterConfig
+from repro.experiments.harness import capacity_rps, scaled_config
+from repro.metrics.tables import format_table
+
+
+def measure(scale: float, seed: int) -> str:
+    base = scaled_config(ClusterConfig(scheme="netclone", seed=seed), scale)
+    capacity = capacity_rps(6 * 15, base.workload.mean_service_ns)
+    config = replace(base, rate_rps=capacity * 0.75)
+    rows = []
+    for label, pairs in (
+        ("ordered n*(n-1) (paper)", None),
+        ("unordered i<j half", [(i, j) for i in range(6) for j in range(i + 1, 6)]),
+    ):
+        cluster = Cluster(config)
+        if pairs is not None:
+            # Rebuild with the custom group set: reuse the cluster
+            # machinery but swap the program's group table contents.
+            program = cluster.program
+            for group_id in list(program.grp_table.entries()):
+                program.grp_table.remove(group_id)
+            for group_id, pair in enumerate(pairs):
+                program.grp_table.install(group_id, pair)
+            program.num_groups = len(pairs)
+            for client in cluster.clients:
+                client.num_groups = len(pairs)
+        cluster.start()
+        cluster.run()
+        accepted = np.array(
+            [server.counters.get("requests_accepted") for server in cluster.servers],
+            dtype=float,
+        )
+        imbalance = accepted.max() / accepted.mean() if accepted.mean() else float("nan")
+        point = cluster.load_point()
+        rows.append(
+            (
+                label,
+                " ".join(f"{int(count)}" for count in accepted),
+                f"{imbalance:.2f}",
+                f"{point.p99_us:.0f}",
+            )
+        )
+    report = "== Ablation: group construction (per-server accepted requests) ==\n"
+    report += format_table(
+        ["groups", "per-server load", "max/mean", "p99 (us)"], rows
+    )
+    print(report)
+    return report
+
+
+def bench_ablation_group_choice(benchmark, bench_scale, bench_seed):
+    report = run_once(benchmark, measure, scale=bench_scale, seed=bench_seed)
+    assert "ordered" in report
+    lines = [line for line in report.splitlines() if "/" not in line and "|" not in line]
+    assert any("unordered" in line for line in report.splitlines())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (synthetic workloads, 4 panels)."""
+
+from conftest import run_once
+
+from repro.experiments import fig07_synthetic
+
+
+def bench_fig07_synthetic(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig07_synthetic.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 7" in report
+    assert "baseline" in report and "netclone" in report

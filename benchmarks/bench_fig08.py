@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 (C-Clone vs LAEDGE vs NetClone)."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_comparison
+
+
+def bench_fig08_comparison(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig08_comparison.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 8" in report
+    assert "laedge" in report

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (2/4/6 worker servers)."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_scalability
+
+
+def bench_fig09_scalability(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig09_scalability.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 9" in report
+    assert "scalability" in report

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 10 (RackSched integration, 4 panels)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_racksched
+
+
+def bench_fig10_racksched(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig10_racksched.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 10" in report
+    assert "netclone-racksched" in report

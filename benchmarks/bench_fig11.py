@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 11 (Redis, 99/1 and 90/10 mixes)."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_redis
+
+
+def bench_fig11_redis(benchmark, bench_scale, bench_seed):
+    report = run_once(benchmark, fig11_redis.run, scale=bench_scale, seed=bench_seed)
+    assert "Figure 11" in report
+    assert "GET" in report

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 12 (Memcached, 99/1 and 90/10 mixes)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_memcached
+
+
+def bench_fig12_memcached(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig12_memcached.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 12" in report

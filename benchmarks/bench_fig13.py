@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 13 (state-signal confidence)."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_state_confidence
+
+
+def bench_fig13_state_confidence(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig13_state_confidence.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 13" in report
+    assert "empty-queue" in report

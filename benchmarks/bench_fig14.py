@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 14 (low variability, p=0.001)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_low_variability
+
+
+def bench_fig14_low_variability(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig14_low_variability.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 14" in report

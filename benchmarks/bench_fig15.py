@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 15 (response-filtering ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_filtering
+
+
+def bench_fig15_filtering(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig15_filtering.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Figure 15" in report
+    assert "netclone-nofilter" in report

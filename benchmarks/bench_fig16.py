@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 16 (switch failure timeline)."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_switch_failure
+
+
+def bench_fig16_switch_failure(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, fig16_switch_failure.run, scale=max(bench_scale, 0.4), seed=bench_seed
+    )
+    assert "Figure 16" in report
+    assert "recovered" in report

@@ -1,0 +1,11 @@
+"""Benchmark: recompute the §4.1 switch resource usage."""
+
+from conftest import run_once
+
+from repro.experiments import table_resources
+
+
+def bench_resources(benchmark, bench_scale, bench_seed):
+    report = run_once(benchmark, table_resources.run, scale=bench_scale, seed=bench_seed)
+    assert "stages" in report
+    assert "4.7" in report or "4.5" in report

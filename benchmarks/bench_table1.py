@@ -1,0 +1,13 @@
+"""Benchmark: derive Table 1 (qualitative comparison matrix)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_comparison
+
+
+def bench_table1_comparison(benchmark, bench_scale, bench_seed):
+    report = run_once(
+        benchmark, table1_comparison.run, scale=bench_scale, seed=bench_seed
+    )
+    assert "Table 1" in report
+    assert "Switch" in report

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harnesses.
+
+Each benchmark runs one paper figure/table harness end to end and
+prints the same rows/series the paper reports.  ``REPRO_BENCH_SCALE``
+(default 0.25) shrinks measurement windows and load grids; set it to
+1.0 for a full-fidelity reproduction run (minutes per figure).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Scale factor for benchmark harness runs."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Root seed for benchmark harness runs."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Failure drill: power-cycle the ToR mid-run (§3.6 / Figure 16).
+
+NetClone keeps only *soft* state in the switch — server states, the
+request-ID sequence, and filter-table fingerprints.  This drill kills
+the switch at t = 200 ms, brings it back at t = 280 ms with every
+register wiped, and shows (a) the throughput gap and recovery and
+(b) that the wipe causes no misbehaviour: no duplicate deliveries, no
+stuck requests, service simply resumes.
+
+Run:  python examples/switch_failure_drill.py
+"""
+
+from repro.experiments.common import Cluster, ClusterConfig
+from repro.sim.monitor import IntervalMonitor
+from repro.sim.units import ms
+
+FAIL_AT = ms(200)
+RECOVER_AT = ms(280)
+REINIT = ms(60)
+HORIZON = ms(600)
+
+
+def main() -> None:
+    print(__doc__)
+    config = ClusterConfig(
+        scheme="netclone",
+        rate_rps=120e3,
+        warmup_ns=0,
+        measure_ns=HORIZON,
+        drain_ns=ms(20),
+        seed=5,
+    )
+    cluster = Cluster(config)
+    monitor = IntervalMonitor(window_ns=ms(20), horizon_ns=HORIZON)
+    cluster.recorder.completion_monitor = monitor
+    cluster.sim.at(FAIL_AT, cluster.switch.fail)
+    cluster.sim.at(RECOVER_AT, cluster.switch.recover, REINIT)
+    cluster.start()
+    cluster.run()
+
+    print("time(ms)  throughput(KRPS)")
+    for start_s, rate in zip(monitor.window_starts_sec(), monitor.rates_per_second()):
+        start_ms = start_s * 1e3
+        if start_ms >= HORIZON / ms(1):
+            break
+        bar = "#" * int(rate / 4e3)
+        marker = ""
+        if FAIL_AT <= start_ms * ms(1) < FAIL_AT + ms(20):
+            marker = "  <- switch stopped"
+        elif RECOVER_AT + REINIT <= start_ms * ms(1) < RECOVER_AT + REINIT + ms(20):
+            marker = "  <- back online (registers wiped)"
+        print(f"{start_ms:7.0f}  {rate / 1e3:8.1f} {bar}{marker}")
+
+    redundant = sum(client.redundant_responses for client in cluster.clients)
+    dropped = cluster.switch.counters.get("rx_dropped_down")
+    print()
+    print(f"packets dropped while down : {dropped}")
+    print(f"duplicate deliveries after the wipe : {redundant}  (soft state only)")
+    print(f"sequence register restarted at : {cluster.program.seq.peek(0)} "
+          f"(safe: earlier IDs have long completed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""NetClone (SIGCOMM 2023) reproduction library.
+
+A from-scratch discrete-event reproduction of *NetClone: Fast,
+Scalable, and Dynamic Request Cloning for Microsecond-Scale RPCs*
+(Gyuyeong Kim, SIGCOMM 2023), including the PISA switch substrate, the
+NetClone data plane, client/server applications, the Baseline /
+C-Clone / LÆDGE comparison schemes, the RackSched integration, and a
+harness regenerating every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.experiments.common import ClusterConfig, run_point
+
+    point = run_point(ClusterConfig(scheme="netclone", rate_rps=1.0e6))
+    print(point.p99_us)
+"""
+
+from repro._version import __version__
+from repro.core import NetCloneClient, NetCloneHeader, NetCloneProgram, RpcServer
+from repro.sim import Simulator
+
+__all__ = [
+    "NetCloneClient",
+    "NetCloneHeader",
+    "NetCloneProgram",
+    "RpcServer",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analytic queueing models.
+
+Closed-form results used to sanity-check the simulator (the test suite
+compares simulated clusters against these) and to reason about where
+cloning pays off:
+
+* M/M/1 and M/M/c (Erlang-C) waiting times,
+* the latency distribution of *cloned* exponential service
+  (minimum of two draws),
+* the C-Clone utilisation doubling and its tipping point.
+"""
+
+from repro.analysis.queueing import (
+    cclone_effective_utilisation,
+    cloned_exponential_p99,
+    erlang_c,
+    exponential_p99,
+    mm1_mean_wait,
+    mmc_mean_wait,
+)
+
+__all__ = [
+    "cclone_effective_utilisation",
+    "cloned_exponential_p99",
+    "erlang_c",
+    "exponential_p99",
+    "mm1_mean_wait",
+    "mmc_mean_wait",
+]

@@ -1,0 +1,104 @@
+"""Queueing-theory reference results.
+
+These formulas are the yardstick for the simulator: an M/M/1 or M/M/c
+cluster built from `repro` components must agree with them (see
+``tests/test_analysis.py``), which pins down the correctness of the
+event engine, the Poisson arrival process, and the server model in one
+shot.  They are also useful on their own for reasoning about cloning:
+the minimum-of-two-draws percentile shows exactly how much tail a
+clone can remove, and the C-Clone utilisation identity shows why
+static cloning collapses past 50 % load.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "cclone_effective_utilisation",
+    "cloned_exponential_p99",
+    "erlang_c",
+    "exponential_p99",
+    "mm1_mean_wait",
+    "mmc_mean_wait",
+]
+
+
+def _check_utilisation(rho: float) -> None:
+    if not 0 <= rho < 1:
+        raise ExperimentError(f"utilisation must lie in [0, 1), got {rho}")
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean waiting time (excluding service) of an M/M/1 queue.
+
+    ``W_q = rho / (mu - lambda)`` — in the same time unit as the rates.
+    """
+    if service_rate <= 0:
+        raise ExperimentError("service rate must be positive")
+    rho = arrival_rate / service_rate
+    _check_utilisation(rho)
+    return rho / (service_rate - arrival_rate)
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C: probability an arrival waits in an M/M/c queue.
+
+    ``offered_load`` is lambda/mu in Erlangs and must be below
+    ``servers`` for stability.
+    """
+    if servers <= 0:
+        raise ExperimentError("need at least one server")
+    if offered_load < 0 or offered_load >= servers:
+        raise ExperimentError("offered load must lie in [0, servers)")
+    if offered_load == 0:
+        return 0.0
+    # Iterative Erlang-B then convert, numerically stable for large c.
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mmc_mean_wait(servers: int, arrival_rate: float, service_rate: float) -> float:
+    """Mean waiting time (excluding service) of an M/M/c queue."""
+    if service_rate <= 0:
+        raise ExperimentError("service rate must be positive")
+    offered = arrival_rate / service_rate
+    wait_probability = erlang_c(servers, offered)
+    return wait_probability / (servers * service_rate - arrival_rate)
+
+
+def exponential_p99(mean: float, q: float = 0.99) -> float:
+    """The *q*-quantile of an exponential with the given mean."""
+    if mean <= 0:
+        raise ExperimentError("mean must be positive")
+    if not 0 < q < 1:
+        raise ExperimentError("quantile must lie in (0, 1)")
+    return -mean * math.log(1.0 - q)
+
+
+def cloned_exponential_p99(mean: float, q: float = 0.99) -> float:
+    """The *q*-quantile of min(X1, X2) for independent exponentials.
+
+    Cloning to two idle servers with *independent* service draws turns
+    the tail parameter from 1/mean into 2/mean: the p99 halves.  (When
+    the base duration is shared and only jitter/queueing differ — the
+    paper's dummy-RPC model — the improvement is smaller; this bound
+    is the best case cloning can do.)
+    """
+    return exponential_p99(mean / 2.0, q)
+
+
+def cclone_effective_utilisation(offered_utilisation: float) -> float:
+    """Server utilisation under static d=2 cloning.
+
+    Every request is executed twice, so utilisation doubles:
+    C-Clone saturates at offered load 0.5 — the Figure 7/8 collapse.
+    """
+    if offered_utilisation < 0:
+        raise ExperimentError("utilisation must be non-negative")
+    return 2.0 * offered_utilisation

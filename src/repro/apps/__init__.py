@@ -1,0 +1,11 @@
+"""Shared client/server application layer.
+
+The open-loop measurement client and the service models are shared by
+NetClone and every baseline; only the packet-building strategy (who to
+address, whether to duplicate) differs per scheme.
+"""
+
+from repro.apps.client import OpenLoopClient
+from repro.apps.service import KvService, ServiceModel, SyntheticService
+
+__all__ = ["KvService", "OpenLoopClient", "ServiceModel", "SyntheticService"]

@@ -1,0 +1,111 @@
+"""Open-loop measurement client.
+
+Mirrors the paper's client application (§4.2): an open-loop generator
+whose inter-arrival times are exponentially distributed around a
+target rate, with sender and receiver sharing one host.  The client
+records the latency of the *first* response per request and counts any
+further (redundant) responses separately — that count is exactly what
+response filtering is supposed to keep at zero.
+
+Subclasses implement :meth:`build_packets` — the only thing that
+differs between Baseline, C-Clone, LÆDGE and NetClone clients.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.metrics.latency import LatencyRecorder
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+__all__ = ["OpenLoopClient"]
+
+
+class OpenLoopClient(Host):
+    """Generates requests at a fixed average rate and measures latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        client_id: int,
+        workload: Any,
+        rate_rps: float,
+        recorder: LatencyRecorder,
+        rng: random.Random,
+        stop_at_ns: Optional[int] = None,
+        tx_cost_ns: int = 700,
+        rx_cost_ns: int = 300,
+        rx_queue_limit: int = 4096,
+    ):
+        super().__init__(
+            sim,
+            name,
+            ip,
+            tx_cost_ns=tx_cost_ns,
+            rx_cost_ns=rx_cost_ns,
+            rx_queue_limit=rx_queue_limit,
+        )
+        if rate_rps <= 0:
+            raise ExperimentError("client rate must be positive")
+        self.client_id = client_id
+        self.workload = workload
+        self.rate_rps = rate_rps
+        self.recorder = recorder
+        self.rng = rng
+        self.stop_at_ns = stop_at_ns
+        self._mean_gap_ns = 1e9 / rate_rps
+        self._seq = 0
+        self._outstanding: Dict[int, int] = {}
+        self.redundant_responses = 0
+        self.responses_received = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the open-loop arrival process."""
+        self.sim.schedule(self._next_gap(), self._send_one)
+
+    def _next_gap(self) -> int:
+        return int(self.rng.expovariate(1.0) * self._mean_gap_ns) + 1
+
+    def _send_one(self) -> None:
+        if self.stop_at_ns is not None and self.sim.now >= self.stop_at_ns:
+            return
+        self._seq += 1
+        seq = self._seq
+        request = self.workload.make_request(self.client_id, seq)
+        send_time = self.sim.now
+        self._outstanding[seq] = send_time
+        self.recorder.note_sent(send_time)
+        for packet in self.build_packets(request):
+            packet.created_at = send_time
+            self.send(packet)
+        self.sim.schedule(self._next_gap(), self._send_one)
+
+    # ------------------------------------------------------------------
+    def build_packets(self, request: Any) -> List[Packet]:
+        """Packets to emit for one request; scheme-specific."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def handle(self, packet: Packet) -> None:
+        payload = packet.payload
+        if payload is None or payload.client_id != self.client_id:
+            return
+        self.responses_received += 1
+        sent = self._outstanding.pop(payload.client_seq, None)
+        if sent is None:
+            # Second (redundant) response for an already-completed request.
+            self.redundant_responses += 1
+            return
+        self.recorder.record(sent, self.sim.now)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests sent but not yet answered."""
+        return len(self._outstanding)

@@ -1,0 +1,45 @@
+"""C-Clone: static client-based cloning (§2.2, Vulimiri et al.).
+
+The client always sends two copies of every request to two distinct,
+randomly chosen servers and accepts the faster response.  Cloning is
+load-agnostic: the duplicates double server load (halving saturation
+throughput) and both responses traverse the client's receive path
+(doubling its per-packet processing), which is exactly the overhead
+the paper's Figure 7/8 curves show.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.apps.client import OpenLoopClient
+from repro.baselines.random_lb import PLAIN_RPC_PORT
+from repro.errors import ExperimentError
+from repro.net.packet import Packet
+
+__all__ = ["CCloneClient"]
+
+
+class CCloneClient(OpenLoopClient):
+    """Open-loop client that duplicates every request to two servers."""
+
+    def __init__(self, *args: Any, server_ips: Sequence[int], **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        if len(server_ips) < 2:
+            raise ExperimentError("C-Clone needs at least two servers")
+        self.server_ips = list(server_ips)
+
+    def build_packets(self, request: Any) -> List[Packet]:
+        first, second = self.rng.sample(self.server_ips, 2)
+        size = self.workload.request_size(request)
+        return [
+            Packet(
+                src=self.ip,
+                dst=destination,
+                sport=PLAIN_RPC_PORT,
+                dport=PLAIN_RPC_PORT,
+                size=size,
+                payload=request,
+            )
+            for destination in (first, second)
+        ]

@@ -1,0 +1,42 @@
+"""Baseline: random server selection, no cloning (§5.1.3).
+
+"The baseline sends requests to workers randomly without cloning."
+The switch forwards by plain L3 routing; servers respond directly to
+the client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.apps.client import OpenLoopClient
+from repro.errors import ExperimentError
+from repro.net.packet import Packet
+
+__all__ = ["BaselineClient", "PLAIN_RPC_PORT"]
+
+#: UDP port for non-NetClone RPC traffic.
+PLAIN_RPC_PORT = 7000
+
+
+class BaselineClient(OpenLoopClient):
+    """Open-loop client that sprays requests over the servers uniformly."""
+
+    def __init__(self, *args: Any, server_ips: Sequence[int], **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        if not server_ips:
+            raise ExperimentError("baseline client needs at least one server")
+        self.server_ips = list(server_ips)
+
+    def build_packets(self, request: Any) -> List[Packet]:
+        destination = self.rng.choice(self.server_ips)
+        return [
+            Packet(
+                src=self.ip,
+                dst=destination,
+                sport=PLAIN_RPC_PORT,
+                dport=PLAIN_RPC_PORT,
+                size=self.workload.request_size(request),
+                payload=request,
+            )
+        ]

@@ -1,0 +1,60 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-netclone``.
+
+Examples::
+
+    repro-netclone --list
+    repro-netclone fig7 --scale 0.25
+    repro-netclone fig16 resources --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-netclone",
+        description="Reproduce the NetClone (SIGCOMM 2023) evaluation.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (fig7..fig16, table1, resources)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink measurement windows/grids (e.g. 0.25 for a quick pass)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for line in list_experiments():
+            print(f"  {line}")
+        return 0
+    for experiment_id in args.experiments:
+        harness = get_experiment(experiment_id)
+        harness(scale=args.scale, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

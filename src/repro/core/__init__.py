@@ -1,0 +1,50 @@
+"""NetClone: the paper's primary contribution.
+
+* :mod:`header` — the NetClone wire header (Figure 3).
+* :mod:`groups` — group-ID construction (§3.3's ordered server pairs).
+* :mod:`program` — the switch data-plane program (Algorithm 1),
+  compiled into the PISA pipeline model with state + shadow tables,
+  hashed filter tables, multicast cloning and recirculation.
+* :mod:`racksched` — RackSched (JSQ / power-of-two) and the
+  NetClone+RackSched integration (§3.7).
+* :mod:`client` / :mod:`server` — NetClone-aware end hosts.
+* :mod:`multirack` — switch-ID gating for multi-rack deployments.
+"""
+
+from repro.core.constants import (
+    CLO_CLONED_COPY,
+    CLO_CLONED_ORIGINAL,
+    CLO_NOT_CLONED,
+    MSG_REQ,
+    MSG_RESP,
+    NETCLONE_UDP_PORT,
+    STATE_BUSY,
+    STATE_IDLE,
+    VIRTUAL_SERVICE_IP,
+)
+from repro.core.groups import build_group_pairs, install_group_table
+from repro.core.header import NetCloneHeader
+from repro.core.program import NetCloneProgram
+from repro.core.racksched import NetCloneRackSchedProgram, RackSchedProgram
+from repro.core.client import NetCloneClient
+from repro.core.server import RpcServer
+
+__all__ = [
+    "CLO_CLONED_COPY",
+    "CLO_CLONED_ORIGINAL",
+    "CLO_NOT_CLONED",
+    "MSG_REQ",
+    "MSG_RESP",
+    "NETCLONE_UDP_PORT",
+    "NetCloneClient",
+    "NetCloneHeader",
+    "NetCloneProgram",
+    "NetCloneRackSchedProgram",
+    "RackSchedProgram",
+    "RpcServer",
+    "STATE_BUSY",
+    "STATE_IDLE",
+    "VIRTUAL_SERVICE_IP",
+    "build_group_pairs",
+    "install_group_table",
+]

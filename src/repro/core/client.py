@@ -1,0 +1,62 @@
+"""The NetClone client.
+
+NetClone clients do not know server addresses (§3.3): each request is
+addressed to a virtual service IP with a randomly chosen *group ID*
+(picking the candidate pair) and a randomly chosen *filter-table
+index*; the switch does the rest.  Both the request and its responses
+carry the reserved NetClone UDP port so the ToR applies the custom
+logic in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.apps.client import OpenLoopClient
+from repro.core.constants import (
+    CLO_NOT_CLONED,
+    MSG_REQ,
+    NETCLONE_UDP_PORT,
+    VIRTUAL_SERVICE_IP,
+)
+from repro.core.header import NetCloneHeader
+from repro.core.program import CLO_NEVER_CLONE
+from repro.errors import ExperimentError
+from repro.net.packet import Packet
+
+__all__ = ["NetCloneClient"]
+
+
+class NetCloneClient(OpenLoopClient):
+    """Open-loop client speaking the NetClone protocol."""
+
+    def __init__(self, *args: Any, num_groups: int, num_filter_tables: int = 2, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        if num_groups < 2:
+            raise ExperimentError("NetClone needs at least two groups (two servers)")
+        if num_filter_tables < 1:
+            raise ExperimentError("need at least one filter table")
+        self.num_groups = num_groups
+        self.num_filter_tables = num_filter_tables
+
+    def build_packets(self, request: Any) -> List[Packet]:
+        header = NetCloneHeader(
+            msg_type=MSG_REQ,
+            req_id=0,  # assigned by the switch
+            grp=self.rng.randrange(self.num_groups),
+            sid=0,
+            state=0,
+            clo=CLO_NEVER_CLONE if getattr(request, "write", False) else CLO_NOT_CLONED,
+            idx=self.rng.randrange(self.num_filter_tables),
+            swid=0,
+        )
+        packet = Packet(
+            src=self.ip,
+            dst=VIRTUAL_SERVICE_IP,
+            sport=NETCLONE_UDP_PORT,
+            dport=NETCLONE_UDP_PORT,
+            size=self.workload.request_size(request) + NetCloneHeader.WIRE_SIZE,
+            payload=request,
+            nc=header,
+        )
+        return [packet]

@@ -1,0 +1,89 @@
+"""Server-failure handling (§3.6).
+
+When a worker server dies, performance degrades until the operator
+(or a health monitor) removes it: "The switch control plane can
+quickly remove the failed server from the list of potential
+destination servers by updating relevant tables (e.g., the group table
+and the address table) in the switch data plane and the number of
+groups on the client side."
+
+:class:`ServerFailureHandler` implements exactly that flow on top of
+the :class:`~repro.switchsim.controlplane.ControlPlane`:
+
+1. rebuild the group table over the surviving servers (ordered pairs,
+   so the §3.3 randomness argument still holds);
+2. point every group at surviving addresses (the address table keeps
+   its surviving entries; the dead server's entry is removed);
+3. tell clients the new group count, so they stop drawing dead groups.
+
+Until the control-plane update lands, requests whose group includes
+the dead server are lost — the transient degradation the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.groups import build_group_pairs
+from repro.core.program import NetCloneProgram
+from repro.errors import ExperimentError
+from repro.switchsim.controlplane import ControlPlane
+
+__all__ = ["ServerFailureHandler"]
+
+
+class ServerFailureHandler:
+    """Removes failed servers from a running NetClone deployment."""
+
+    def __init__(
+        self,
+        program: NetCloneProgram,
+        control_plane: ControlPlane,
+        clients: Sequence[object] = (),
+    ):
+        self.program = program
+        self.control_plane = control_plane
+        self.clients = list(clients)
+        # server_id -> ip for the servers currently in rotation.
+        self.active = dict(self.program.addr_table.entries())
+
+    # ------------------------------------------------------------------
+    def remove_server(self, server_id: int) -> int:
+        """Schedule removal of *server_id*; returns the apply time (ns).
+
+        The rebuild is submitted as one control-plane operation: table
+        updates on a real switch are batched by the agent, and what
+        matters for the model is the (slow) control-plane latency
+        before any of it takes effect.
+        """
+        if server_id not in self.active:
+            raise ExperimentError(f"server {server_id} is not in rotation")
+        if len(self.active) <= 2:
+            raise ExperimentError("cannot drop below two servers (cloning needs a pair)")
+        del self.active[server_id]
+        return self.control_plane.submit(self._apply_removal, server_id)
+
+    def _apply_removal(self, server_id: int) -> None:
+        program = self.program
+        survivors: List[int] = sorted(self.active)
+        # Remap group IDs onto ordered pairs of survivors.  Group IDs
+        # are dense (clients draw uniformly from [0, num_groups)), so
+        # the table is rebuilt rather than punched with holes.
+        pairs = build_group_pairs(len(survivors))
+        for group_id in list(program.grp_table.entries()):
+            program.grp_table.remove(group_id)
+        for group_id, (first, second) in enumerate(pairs):
+            program.grp_table.install(
+                group_id, (survivors[first], survivors[second])
+            )
+        program.num_groups = len(pairs)
+        program.addr_table.remove(server_id)
+        for client in self.clients:
+            if hasattr(client, "num_groups"):
+                client.num_groups = len(pairs)
+
+    @property
+    def active_server_ids(self) -> List[int]:
+        """Server IDs still in rotation."""
+        return sorted(self.active)

@@ -1,0 +1,45 @@
+"""Group-ID construction (§3.3).
+
+A group ID names an *ordered* pair of candidate servers.  The paper
+uses 2·C(n,2) = n·(n−1) groups — every ordered pair of distinct
+servers — because the switch forwards non-cloned requests to the
+*first* candidate, so keeping both orders of each pair preserves the
+randomness of server selection.  (With only {Srv1, Srv2} and never
+{Srv2, Srv1}, all non-cloned requests would herd onto Srv1.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ExperimentError
+from repro.switchsim.tables import MatchActionTable
+
+__all__ = ["build_group_pairs", "install_group_table"]
+
+
+def build_group_pairs(num_servers: int) -> List[Tuple[int, int]]:
+    """All ordered pairs of distinct server IDs, deterministically.
+
+    Group ID *g* maps to ``pairs[g]``.  Requires at least two servers
+    (NetClone needs a pair for redundancy, §5.3.2).
+    """
+    if num_servers < 2:
+        raise ExperimentError("NetClone requires at least two servers")
+    pairs = []
+    for first in range(num_servers):
+        for second in range(num_servers):
+            if first != second:
+                pairs.append((first, second))
+    return pairs
+
+
+def install_group_table(table: MatchActionTable, num_servers: int) -> int:
+    """Install the ordered pairs into the switch group table.
+
+    Returns the number of groups installed (``n * (n - 1)``).
+    """
+    pairs = build_group_pairs(num_servers)
+    for group_id, pair in enumerate(pairs):
+        table.install(group_id, pair)
+    return len(pairs)

@@ -1,0 +1,286 @@
+"""The NetClone switch data-plane program (Algorithm 1).
+
+Compiled into the PISA pipeline model with the same placement the
+paper describes (7 stages with two filter tables):
+
+========= =====================================================
+stage     contents
+========= =====================================================
+0         global sequence register ``SEQ`` + group table ``GrpT``
+1         server state table ``StateT`` (register array)
+2         shadow state table ``ShadowT`` (copy of ``StateT``)
+3         address table ``AddrT`` (server ID → IP)
+4         hash unit over REQ_ID
+5..5+k-1  filter tables ``FilterT[0..k-1]`` (register arrays)
+========= =====================================================
+
+Because a register array can be accessed once per pass and only from
+its own stage, reading the state of *both* candidate servers requires
+the shadow copy — exactly the §3.4 trick — and giving the cloned copy
+its destination IP requires a second pass through ``AddrT`` via
+recirculation (§3.4 "Cloning in the switch").
+
+The same class also implements the §3.7 RackSched integration: the
+state table generalises to a *load* table holding queue lengths
+(servers piggyback their queue length; IDLE simply means zero), and a
+``scheduler`` knob selects between NetClone's random first-candidate
+forwarding and RackSched's power-of-two JSQ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.constants import (
+    CLO_CLONED_COPY,
+    CLO_CLONED_ORIGINAL,
+    CLO_NOT_CLONED,
+    MSG_REQ,
+    MSG_RESP,
+    NETCLONE_UDP_PORT,
+    STATE_IDLE,
+    SWID_UNSET,
+)
+from repro.core.groups import install_group_table
+from repro.errors import PipelineConfigError
+from repro.net.packet import Packet
+from repro.switchsim.hashing import HashUnit
+from repro.switchsim.pipeline import PassContext, Pipeline, PipelineAction
+from repro.switchsim.registers import RegisterArray
+from repro.switchsim.switch import ProgrammableSwitch, SwitchProgram
+from repro.switchsim.tables import MatchActionTable
+
+__all__ = ["NetCloneProgram"]
+
+#: CLO value a client may set to opt a request out of cloning (writes).
+CLO_NEVER_CLONE = 3
+
+_SEQ_MAX = (1 << 32) - 1
+
+#: Scheduler selecting the destination among the candidate pair.
+SCHED_RANDOM = "random"
+SCHED_JSQ = "jsq"
+
+
+def _next_seq(value: int) -> int:
+    """Increment the global sequence, skipping 0 (0 = empty slot)."""
+    return 1 if value >= _SEQ_MAX else value + 1
+
+
+class NetCloneProgram(SwitchProgram):
+    """NetClone (optionally + RackSched) for one ToR switch."""
+
+    STAGE_GRP = 0
+    STAGE_STATE = 1
+    STAGE_SHADOW = 2
+    STAGE_ADDR = 3
+    STAGE_HASH = 4
+    STAGE_FILTER_BASE = 5
+
+    def __init__(
+        self,
+        server_ips: Sequence[int],
+        num_filter_tables: int = 2,
+        filter_slots: int = 1 << 17,
+        switch_id: int = 1,
+        cloning_enabled: bool = True,
+        filtering_enabled: bool = True,
+        scheduler: str = SCHED_RANDOM,
+        max_servers: int = 256,
+        group_pairs: Optional[Sequence[tuple]] = None,
+    ):
+        if len(server_ips) < 2:
+            raise PipelineConfigError("NetClone needs at least two servers")
+        if num_filter_tables < 1:
+            raise PipelineConfigError("need at least one filter table")
+        if scheduler not in (SCHED_RANDOM, SCHED_JSQ):
+            raise PipelineConfigError(f"unknown scheduler {scheduler!r}")
+        num_stages = max(
+            Pipeline.DEFAULT_NUM_STAGES, self.STAGE_FILTER_BASE + num_filter_tables
+        )
+        self.pipeline = Pipeline(num_stages=num_stages)
+        self.switch_id = switch_id
+        self.cloning_enabled = cloning_enabled
+        self.filtering_enabled = filtering_enabled
+        self.scheduler = scheduler
+        self.num_servers = len(server_ips)
+
+        place = self.pipeline
+        self.seq = place.place_register(
+            RegisterArray("SEQ", size=1, stage=self.STAGE_GRP, width_bits=32)
+        )
+        self.grp_table = place.place_table(
+            MatchActionTable("GrpT", stage=self.STAGE_GRP, max_entries=max_servers * max_servers)
+        )
+        self.state_table = place.place_register(
+            RegisterArray("StateT", size=max_servers, stage=self.STAGE_STATE, width_bits=8)
+        )
+        self.shadow_table = place.place_register(
+            RegisterArray("ShadowT", size=max_servers, stage=self.STAGE_SHADOW, width_bits=8)
+        )
+        self.addr_table = place.place_table(
+            MatchActionTable("AddrT", stage=self.STAGE_ADDR, max_entries=max_servers)
+        )
+        self.hash_unit = place.place_hash(
+            HashUnit("ReqIdHash", stage=self.STAGE_HASH, buckets=filter_slots)
+        )
+        self.filters: List[RegisterArray] = [
+            place.place_register(
+                RegisterArray(
+                    f"FilterT{i}",
+                    size=filter_slots,
+                    stage=self.STAGE_FILTER_BASE + i,
+                    width_bits=32,
+                )
+            )
+            for i in range(num_filter_tables)
+        ]
+
+        if group_pairs is None:
+            self.num_groups = install_group_table(self.grp_table, self.num_servers)
+        else:
+            # Ablation hook (§3.3): install a custom candidate-pair set,
+            # e.g. unordered pairs, to measure the herding the paper's
+            # ordered n*(n-1) construction avoids.
+            for group_id, pair in enumerate(group_pairs):
+                self.grp_table.install(group_id, tuple(pair))
+            self.num_groups = len(group_pairs)
+        for server_id, ip in enumerate(server_ips):
+            self.addr_table.install(server_id, ip)
+
+    # ------------------------------------------------------------------
+    def matches(self, packet: Packet) -> bool:
+        """NetClone packets: reserved UDP port, parseable header, SWID gate."""
+        if packet.dport != NETCLONE_UDP_PORT or packet.nc is None:
+            return False
+        swid = packet.nc.swid
+        return swid == SWID_UNSET or swid == self.switch_id
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
+    ) -> PipelineAction:
+        nc = packet.nc
+        if nc.msg_type == MSG_REQ:
+            if packet.recirculated:
+                return self._apply_cloned_request(packet, ctx, switch)
+            return self._apply_request(packet, ctx, switch)
+        if nc.msg_type == MSG_RESP:
+            return self._apply_response(packet, ctx, switch)
+        # Unknown message type: fall back to plain forwarding.
+        return PipelineAction()
+
+    # -- requests (Algorithm 1, lines 1-10) ------------------------------
+    def _apply_request(
+        self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
+    ) -> PipelineAction:
+        action = PipelineAction()
+        nc = packet.nc
+        if nc.swid == SWID_UNSET:
+            nc.swid = self.switch_id
+
+        _, seq = ctx.reg(self.seq, 0, update=_next_seq)
+        nc.req_id = seq
+
+        pair = ctx.table(self.grp_table, nc.grp)
+        if pair is None:
+            switch.counters.incr("nc_unknown_group")
+            action.drop = True
+            return action
+        srv1, srv2 = pair
+
+        state1, _ = ctx.reg(self.state_table, srv1)
+        state2, _ = ctx.reg(self.shadow_table, srv2)
+
+        may_clone = (
+            self.cloning_enabled
+            and nc.clo != CLO_NEVER_CLONE
+            and state1 == STATE_IDLE
+            and state2 == STATE_IDLE
+        )
+        destination = srv1
+        if may_clone:
+            # Mark as cloned original, remember the clone's server in
+            # SID, and recirculate a copy that will pick up its IP on
+            # the second pass (lines 7-9).
+            nc.clo = CLO_CLONED_ORIGINAL
+            nc.sid = srv2
+            action.recirculate.append(packet.copy())
+            switch.counters.incr("nc_cloned")
+        else:
+            if nc.clo == CLO_NEVER_CLONE:
+                nc.clo = CLO_NOT_CLONED
+            if self.scheduler == SCHED_JSQ and state2 < state1:
+                # RackSched fallback: join the shorter queue (§3.7).
+                destination = srv2
+                switch.counters.incr("nc_jsq_second_choice")
+
+        address = ctx.table(self.addr_table, destination)
+        if address is None:
+            switch.counters.incr("nc_unknown_server")
+            action.drop = True
+            return action
+        packet.dst = address
+        return action
+
+    # -- recirculated clones (lines 11-13) --------------------------------
+    def _apply_cloned_request(
+        self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
+    ) -> PipelineAction:
+        action = PipelineAction()
+        nc = packet.nc
+        nc.clo = CLO_CLONED_COPY
+        address = ctx.table(self.addr_table, nc.sid)
+        if address is None:
+            switch.counters.incr("nc_unknown_server")
+            action.drop = True
+            return action
+        packet.dst = address
+        return action
+
+    # -- responses (lines 14-26) ------------------------------------------
+    def _apply_response(
+        self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
+    ) -> PipelineAction:
+        action = PipelineAction()
+        nc = packet.nc
+        reported_state = nc.state
+
+        ctx.reg(self.state_table, nc.sid, update=lambda _old: reported_state)
+        ctx.reg(self.shadow_table, nc.sid, update=lambda _old: reported_state)
+
+        if nc.clo == CLO_NOT_CLONED or not self.filtering_enabled:
+            return action
+
+        slot = ctx.hash(self.hash_unit, nc.req_id)
+        filter_table = self.filters[nc.idx % len(self.filters)]
+        req_id = nc.req_id
+        old, _new = ctx.reg(
+            filter_table,
+            slot,
+            update=lambda value: 0 if value == req_id else req_id,
+        )
+        if old == req_id:
+            # The faster response already passed: this is the slower
+            # one.  The slot was cleared for reuse by the update above.
+            switch.counters.incr("nc_filtered")
+            action.drop = True
+        else:
+            if old != 0:
+                switch.counters.incr("nc_fingerprint_overwrite")
+            switch.counters.incr("nc_fingerprint_insert")
+        return action
+
+    # ------------------------------------------------------------------
+    def on_register_wipe(self) -> None:
+        """After a power cycle all state is zero; nothing to rebuild.
+
+        Zeroed state tables read as IDLE and the sequence restarts at
+        1, which §3.6 argues is safe — requests with earlier sequence
+        numbers have long completed.
+        """
+
+    @property
+    def filter_slot_count(self) -> int:
+        """Total fingerprint slots across all filter tables."""
+        return sum(f.size for f in self.filters)

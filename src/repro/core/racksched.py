@@ -1,0 +1,48 @@
+"""RackSched and the NetClone+RackSched integration (§3.7).
+
+RackSched (Zhu et al., OSDI 2020) performs Join-the-Shortest-Queue
+load balancing in the switch using the power of two choices: sample
+two servers, forward to the one with the shorter queue.  NetClone
+integrates it by generalising the server state table to a *load*
+table holding queue lengths:
+
+* both candidate queues empty → clone, exactly as plain NetClone;
+* otherwise → fall back to JSQ between the two candidates.
+
+Both programs reuse :class:`~repro.core.program.NetCloneProgram`'s
+pipeline; the candidate pair drawn from the group table doubles as the
+power-of-two sample.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.program import SCHED_JSQ, NetCloneProgram
+
+__all__ = ["NetCloneRackSchedProgram", "RackSchedProgram"]
+
+
+class RackSchedProgram(NetCloneProgram):
+    """Pure RackSched: JSQ power-of-two scheduling, no cloning.
+
+    Included as a comparison point; the Figure 10 experiments use
+    :class:`NetCloneRackSchedProgram`.
+    """
+
+    def __init__(self, server_ips: Sequence[int], **kwargs):
+        kwargs.setdefault("scheduler", SCHED_JSQ)
+        kwargs["cloning_enabled"] = False
+        # With no clones there is nothing to filter; keep one table so
+        # the pipeline shape stays valid.
+        kwargs.setdefault("num_filter_tables", 1)
+        super().__init__(server_ips, **kwargs)
+
+
+class NetCloneRackSchedProgram(NetCloneProgram):
+    """NetClone with the RackSched fallback scheduler (§3.7)."""
+
+    def __init__(self, server_ips: Sequence[int], **kwargs):
+        kwargs.setdefault("scheduler", SCHED_JSQ)
+        kwargs.setdefault("cloning_enabled", True)
+        super().__init__(server_ips, **kwargs)

@@ -1,0 +1,166 @@
+"""The worker server application (§4.2 server, §3.4 server-side rules).
+
+One dispatcher thread (modelled by the NIC RX serialisation) feeds a
+global FCFS request queue drained by ``num_workers`` worker threads.
+NetClone-specific behaviour, both switchable for the baselines:
+
+* **clone dropping** — a cloned request (``CLO == 2``) arriving while
+  the queue is non-empty is dropped, because the tracked state that
+  triggered the clone was stale (§3.4);
+* **state piggybacking** — responses carry the current queue length in
+  the STATE field (0 means idle; RackSched integration reads it as a
+  queue length, plain NetClone as a binary state).
+
+Execution jitter (the 15× slowdowns of §5.1.2) is applied per
+*execution*, so the two sides of a cloned request draw independently —
+that is the variability cloning masks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.apps.service import ServiceModel
+from repro.core.constants import (
+    CLO_CLONED_COPY,
+    MSG_REQ,
+    MSG_RESP,
+    NETCLONE_UDP_PORT,
+)
+from repro.errors import ExperimentError
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter
+from repro.workloads.distributions import JitterModel
+
+__all__ = ["RpcServer"]
+
+
+class RpcServer(Host):
+    """A worker server with a dispatcher queue and worker threads."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        server_id: int,
+        service: ServiceModel,
+        jitter: JitterModel,
+        rng: random.Random,
+        num_workers: int = 15,
+        netclone_mode: bool = True,
+        drop_stale_clones: bool = True,
+        reply_to_ip: Optional[int] = None,
+        tx_cost_ns: int = 700,
+        rx_cost_ns: int = 500,
+        rx_queue_limit: int = 16384,
+    ):
+        super().__init__(
+            sim,
+            name,
+            ip,
+            tx_cost_ns=tx_cost_ns,
+            rx_cost_ns=rx_cost_ns,
+            rx_queue_limit=rx_queue_limit,
+        )
+        if num_workers <= 0:
+            raise ExperimentError("server needs at least one worker thread")
+        self.server_id = server_id
+        self.service = service
+        self.jitter = jitter
+        self.rng = rng
+        self.num_workers = num_workers
+        #: NetClone mode: drop stale clones, piggyback state.
+        self.netclone_mode = netclone_mode
+        #: The §3.4 stale-clone drop; disable for the ablation bench.
+        self.drop_stale_clones = drop_stale_clones
+        #: LÆDGE routes responses through the coordinator.
+        self.reply_to_ip = reply_to_ip
+        self.queue: Deque[Packet] = deque()
+        self.busy_workers = 0
+        self.counters = Counter()
+        #: Samples of the queue length at response time (Figure 13a).
+        self.state_samples_zero = 0
+        self.state_samples_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        """Current dispatcher-queue occupancy (pending, not in service)."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def handle(self, packet: Packet) -> None:
+        nc = packet.nc
+        if nc is not None and nc.msg_type != MSG_REQ:
+            self.counters.incr("non_request_ignored")
+            return
+        if (
+            self.netclone_mode
+            and self.drop_stale_clones
+            and nc is not None
+            and nc.clo == CLO_CLONED_COPY
+            and self.queue
+        ):
+            # Stale cloning decision: the tracked state said idle, the
+            # actual state is busy.  Drop the clone, never the original.
+            self.counters.incr("clones_dropped")
+            return
+        self.counters.incr("requests_accepted")
+        if self.busy_workers < self.num_workers:
+            self.busy_workers += 1
+            self._start_work(packet)
+        else:
+            self.queue.append(packet)
+
+    def _start_work(self, packet: Packet) -> None:
+        base = self.service.base_service_ns(packet.payload)
+        duration = self.jitter.apply(base, self.rng)
+        if duration < base:
+            raise ExperimentError("jitter must never shorten execution")
+        self.sim.schedule(duration, self._finish_work, packet)
+
+    def _finish_work(self, packet: Packet) -> None:
+        self.service.execute(packet.payload)
+        # Hand the next queued request to this worker thread first, so
+        # the piggybacked state reflects the queue after the dispatch.
+        if self.queue:
+            self._start_work(self.queue.popleft())
+        else:
+            self.busy_workers -= 1
+        self._respond(packet)
+
+    def _respond(self, request: Packet) -> None:
+        queue_len = len(self.queue)
+        self.state_samples_total += 1
+        if queue_len == 0:
+            self.state_samples_zero += 1
+        response = Packet(
+            src=self.ip,
+            dst=self.reply_to_ip if self.reply_to_ip is not None else request.src,
+            sport=NETCLONE_UDP_PORT,
+            dport=request.dport if request.nc is not None else request.sport,
+            size=self.service.response_size(request.payload),
+            payload=request.payload,
+            created_at=request.created_at,
+        )
+        nc = request.nc
+        if nc is not None:
+            resp_nc = nc.copy()
+            resp_nc.msg_type = MSG_RESP
+            resp_nc.sid = self.server_id
+            resp_nc.state = min(queue_len, 255) if self.netclone_mode else 0
+            response.nc = resp_nc
+        self.counters.incr("responses_sent")
+        self.send(response)
+
+    # ------------------------------------------------------------------
+    def empty_queue_fraction(self) -> float:
+        """Fraction of responses that reported an empty queue (Fig. 13a)."""
+        if self.state_samples_total == 0:
+            return float("nan")
+        return self.state_samples_zero / self.state_samples_total

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes a ``run(scale=1.0, seed=...)`` function returning a
+structured result and a ``main()`` that prints the same rows/series the
+paper reports.  The registry maps experiment IDs (``fig7``, ``fig13``,
+``table1``, ...) to those entry points; ``python -m repro <id>`` runs
+one.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

@@ -1,0 +1,344 @@
+"""Cluster construction and measurement driver.
+
+This module turns a :class:`ClusterConfig` into a simulated testbed
+matching §5.1.1 — one ToR switch, client hosts, worker servers (plus a
+coordinator host for LÆDGE) — runs it, and reduces the run to a
+:class:`~repro.metrics.sweep.LoadPoint`.
+
+Supported schemes:
+
+=====================  ====================================================
+``baseline``           random server choice, no cloning (plain L3 switch)
+``cclone``             static client-side cloning, d = 2
+``laedge``             coordinator-based dynamic cloning
+``netclone``           NetClone switch program (cloning + filtering)
+``netclone-nofilter``  NetClone with response filtering disabled (Fig. 15)
+``netclone-noclonedrop`` NetClone without the server-side stale-clone drop
+``racksched``          switch JSQ power-of-two, no cloning
+``netclone-racksched`` NetClone + RackSched integration (§3.7)
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.apps.client import OpenLoopClient
+from repro.baselines.cclone import CCloneClient
+from repro.baselines.laedge import LaedgeClient, LaedgeCoordinator
+from repro.baselines.random_lb import BaselineClient
+from repro.core.client import NetCloneClient
+from repro.core.program import NetCloneProgram
+from repro.core.racksched import NetCloneRackSchedProgram, RackSchedProgram
+from repro.core.server import RpcServer
+from repro.errors import ExperimentError
+from repro.experiments.specs import WorkloadSpec, make_synthetic_spec
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.sweep import LoadPoint, SweepResult
+from repro.net.topology import StarTopology
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.units import ms
+from repro.switchsim.switch import ProgrammableSwitch
+from repro.workloads.distributions import JitterModel
+
+__all__ = ["Cluster", "ClusterConfig", "SCHEMES", "run_point", "run_sweep"]
+
+SCHEMES = (
+    "baseline",
+    "cclone",
+    "laedge",
+    "netclone",
+    "netclone-nofilter",
+    "netclone-noclonedrop",
+    "racksched",
+    "netclone-racksched",
+)
+
+_NETCLONE_SCHEMES = {
+    "netclone",
+    "netclone-nofilter",
+    "netclone-noclonedrop",
+    "racksched",
+    "netclone-racksched",
+}
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build and measure one operating point."""
+
+    scheme: str = "netclone"
+    workload: Optional[WorkloadSpec] = None
+    num_servers: int = 6
+    workers_per_server: Union[int, Sequence[int]] = 15
+    num_clients: int = 2
+    rate_rps: float = 1.0e6
+    jitter_p: float = 0.01
+    jitter_factor: float = 15.0
+    warmup_ns: int = ms(10)
+    measure_ns: int = ms(40)
+    drain_ns: int = ms(5)
+    seed: int = 1
+
+    # NetClone data-plane parameters (§4.1 defaults).
+    num_filter_tables: int = 2
+    filter_slots: int = 1 << 17
+
+    # Host stack costs (VMA-like kernel bypass).
+    client_tx_ns: int = 350
+    client_rx_ns: int = 650
+    server_tx_ns: int = 700
+    server_rx_ns: int = 500
+    coordinator_cpu_ns: int = 700
+    laedge_slots_per_server: Optional[int] = None
+
+    # Switch timing.
+    switch_pipeline_ns: int = 400
+    switch_recirc_ns: int = 700
+
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ExperimentError(
+                f"unknown scheme {self.scheme!r}; choose one of {SCHEMES}"
+            )
+        if self.workload is None:
+            self.workload = make_synthetic_spec("exp", mean_us=25.0)
+        if self.num_servers < 2:
+            raise ExperimentError("experiments need at least two servers")
+        if self.num_clients < 1:
+            raise ExperimentError("experiments need at least one client")
+        if self.rate_rps <= 0:
+            raise ExperimentError("offered load must be positive")
+
+    # ------------------------------------------------------------------
+    def worker_counts(self) -> List[int]:
+        """Per-server worker-thread counts (homogeneous or explicit)."""
+        if isinstance(self.workers_per_server, int):
+            return [self.workers_per_server] * self.num_servers
+        counts = list(self.workers_per_server)
+        if len(counts) != self.num_servers:
+            raise ExperimentError(
+                f"{len(counts)} worker counts for {self.num_servers} servers"
+            )
+        return counts
+
+    @property
+    def end_ns(self) -> int:
+        """End of the measurement window."""
+        return self.warmup_ns + self.measure_ns
+
+    @property
+    def total_ns(self) -> int:
+        """Total simulated time including drain."""
+        return self.end_ns + self.drain_ns
+
+
+class Cluster:
+    """A built testbed, ready to run."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.recorder = LatencyRecorder(warmup_ns=config.warmup_ns, end_ns=config.end_ns)
+        self.switch = ProgrammableSwitch(
+            self.sim,
+            name="tor",
+            pipeline_latency_ns=config.switch_pipeline_ns,
+            recirc_latency_ns=config.switch_recirc_ns,
+        )
+        self.topology = StarTopology(self.sim, self.switch)
+        self.servers: List[RpcServer] = []
+        self.clients: List[OpenLoopClient] = []
+        self.coordinator: Optional[LaedgeCoordinator] = None
+        self.program: Optional[NetCloneProgram] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        config = self.config
+        scheme = config.scheme
+        netclone_mode = scheme in _NETCLONE_SCHEMES
+        jitter = JitterModel(config.jitter_p, config.jitter_factor)
+
+        # LÆDGE needs its coordinator's address before servers exist.
+        coordinator_ip = self.topology.allocate_ip() if scheme == "laedge" else None
+
+        worker_counts = self.config.worker_counts()
+        for index in range(config.num_servers):
+            server = RpcServer(
+                self.sim,
+                name=f"srv{index + 1}",
+                ip=self.topology.allocate_ip(),
+                server_id=index,
+                service=config.workload.make_service(index),
+                jitter=jitter,
+                rng=self.rngs.stream(f"server{index}"),
+                num_workers=worker_counts[index],
+                netclone_mode=netclone_mode,
+                reply_to_ip=coordinator_ip,
+                tx_cost_ns=config.server_tx_ns,
+                rx_cost_ns=config.server_rx_ns,
+            )
+            self.topology.add_host(server)
+            self.servers.append(server)
+        server_ips = [server.ip for server in self.servers]
+
+        if scheme == "laedge":
+            slots = config.laedge_slots_per_server
+            if slots is None:
+                slots = max(worker_counts)
+            self.coordinator = LaedgeCoordinator(
+                self.sim,
+                name="coordinator",
+                ip=coordinator_ip,
+                server_ips=server_ips,
+                rng=self.rngs.stream("coordinator"),
+                slots_per_server=slots,
+                cpu_cost_ns=config.coordinator_cpu_ns,
+            )
+            self.topology.add_host(self.coordinator)
+
+        if netclone_mode:
+            program_args = dict(
+                server_ips=server_ips,
+                num_filter_tables=config.num_filter_tables,
+                filter_slots=config.filter_slots,
+            )
+            if scheme == "racksched":
+                self.program = RackSchedProgram(**program_args)
+            elif scheme == "netclone-racksched":
+                self.program = NetCloneRackSchedProgram(**program_args)
+            else:
+                self.program = NetCloneProgram(
+                    filtering_enabled=(scheme != "netclone-nofilter"),
+                    **program_args,
+                )
+            self.switch.install_program(self.program)
+            if scheme == "netclone-noclonedrop":
+                # Ablation: keep state piggybacking but accept stale clones.
+                for server in self.servers:
+                    server.drop_stale_clones = False
+
+        per_client_rate = config.rate_rps / config.num_clients
+        for index in range(config.num_clients):
+            self.clients.append(
+                self._make_client(index, per_client_rate, server_ips, coordinator_ip)
+            )
+
+    def _make_client(
+        self,
+        index: int,
+        rate_rps: float,
+        server_ips: Sequence[int],
+        coordinator_ip: Optional[int],
+    ) -> OpenLoopClient:
+        config = self.config
+        common = dict(
+            sim=self.sim,
+            name=f"client{index + 1}",
+            ip=self.topology.allocate_ip(),
+            client_id=index,
+            workload=config.workload.make_workload(self.rngs.stream(f"workload{index}")),
+            rate_rps=rate_rps,
+            recorder=self.recorder,
+            rng=self.rngs.stream(f"client{index}"),
+            stop_at_ns=config.end_ns,
+            tx_cost_ns=config.client_tx_ns,
+            rx_cost_ns=config.client_rx_ns,
+        )
+        scheme = config.scheme
+        if scheme == "baseline":
+            client: OpenLoopClient = BaselineClient(server_ips=server_ips, **common)
+        elif scheme == "cclone":
+            client = CCloneClient(server_ips=server_ips, **common)
+        elif scheme == "laedge":
+            client = LaedgeClient(coordinator_ip=coordinator_ip, **common)
+        else:
+            assert self.program is not None
+            client = NetCloneClient(
+                num_groups=self.program.num_groups,
+                num_filter_tables=config.num_filter_tables,
+                **common,
+            )
+        self.topology.add_host(client)
+        return client
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm every client's arrival process."""
+        for client in self.clients:
+            client.start()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run to *until* (default: the configured total duration)."""
+        self.sim.run(until=self.config.total_ns if until is None else until)
+
+    # ------------------------------------------------------------------
+    def load_point(self) -> LoadPoint:
+        """Reduce the finished run to one measured point."""
+        recorder = self.recorder
+        extra: Dict[str, float] = {
+            "redundant_responses": float(
+                sum(client.redundant_responses for client in self.clients)
+            ),
+            "clones_dropped": float(
+                sum(server.counters.get("clones_dropped") for server in self.servers)
+            ),
+            "empty_queue_fraction": _mean_or_nan(
+                [server.empty_queue_fraction() for server in self.servers]
+            ),
+        }
+        for key in ("nc_cloned", "nc_filtered", "nc_fingerprint_overwrite"):
+            extra[key] = float(self.switch.counters.get(key))
+        if self.coordinator is not None:
+            extra["coordinator_queue"] = float(self.coordinator.queue_len)
+        return LoadPoint(
+            offered_rps=recorder.offered_rps(),
+            throughput_rps=recorder.throughput_rps(),
+            p50_us=recorder.p50_us(),
+            p99_us=recorder.p99_us(),
+            p999_us=recorder.p999_us(),
+            mean_us=recorder.mean_us(),
+            samples=len(recorder),
+            extra=extra,
+        )
+
+
+def _mean_or_nan(values: Sequence[float]) -> float:
+    cleaned = [v for v in values if v == v]
+    if not cleaned:
+        return float("nan")
+    return sum(cleaned) / len(cleaned)
+
+
+# ----------------------------------------------------------------------
+def run_point(config: ClusterConfig) -> LoadPoint:
+    """Build, run and reduce one operating point."""
+    cluster = Cluster(config)
+    cluster.start()
+    cluster.run()
+    return cluster.load_point()
+
+
+def run_sweep(
+    config: ClusterConfig,
+    offered_loads_rps: Sequence[float],
+    scheme: Optional[str] = None,
+) -> SweepResult:
+    """Measure one throughput-latency curve.
+
+    *config* provides everything but the rate (and optionally the
+    scheme); each load re-runs an independent cluster with the same
+    seed so curves differ only in offered load.
+    """
+    chosen_scheme = scheme if scheme is not None else config.scheme
+    result = SweepResult(scheme=chosen_scheme, workload=config.workload.name)
+    for rate in offered_loads_rps:
+        point_config = replace(config, scheme=chosen_scheme, rate_rps=rate)
+        result.add(run_point(point_config))
+    return result

@@ -1,0 +1,91 @@
+"""Figure 7: synthetic workloads, Baseline vs C-Clone vs NetClone.
+
+Four panels — Exp(25), Bimodal(90%-25,10%-250), Exp(50),
+Bimodal(90%-50,10%-500) — each a throughput / 99%-latency sweep with 6
+worker servers and 15 worker threads each, jitter p = 0.01.
+
+Expected shape (paper §5.2): C-Clone saturates at roughly half the
+Baseline's throughput; NetClone tracks the Baseline's throughput while
+keeping p99 below it at low and mid loads; the improvement shrinks for
+the longer 50/500 µs RPCs at high load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ClusterConfig
+from repro.experiments.harness import (
+    capacity_rps,
+    format_series,
+    load_grid,
+    scaled_config,
+    sweep_schemes,
+)
+from repro.experiments.registry import register
+from repro.experiments.specs import make_synthetic_spec
+from repro.metrics.sweep import SweepResult
+
+__all__ = ["PANELS", "collect", "run"]
+
+SCHEMES = ("baseline", "cclone", "netclone")
+
+#: Panel id -> (kind, mean/modes) mirroring Figure 7 (a)-(d).
+PANELS = {
+    "a-Exp(25)": ("exp", 25.0, None),
+    "b-Bimodal(90-25,10-250)": ("bimodal", None, ((0.9, 25.0), (0.1, 250.0))),
+    "c-Exp(50)": ("exp", 50.0, None),
+    "d-Bimodal(90-50,10-500)": ("bimodal", None, ((0.9, 50.0), (0.1, 500.0))),
+}
+
+NUM_SERVERS = 6
+WORKERS = 15
+
+
+def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+    """All four panels' curves, keyed by panel then scheme."""
+    results: Dict[str, Dict[str, SweepResult]] = {}
+    for panel, (kind, mean_us, modes) in PANELS.items():
+        spec = make_synthetic_spec(kind, mean_us=mean_us or 25.0, modes=modes)
+        config = scaled_config(
+            ClusterConfig(
+                workload=spec,
+                num_servers=NUM_SERVERS,
+                workers_per_server=WORKERS,
+                seed=seed,
+            ),
+            scale,
+        )
+        capacity = capacity_rps(NUM_SERVERS * WORKERS, spec.mean_service_ns)
+        loads = load_grid(capacity, scale)
+        results[panel] = sweep_schemes(config, SCHEMES, loads)
+    return results
+
+
+def run(scale: float = 1.0, seed: int = 1) -> str:
+    """Run Figure 7 and return the formatted report."""
+    sections = []
+    for panel, series in collect(scale, seed).items():
+        base = series["baseline"]
+        cclone = series["cclone"]
+        netclone = series["netclone"]
+        low = base.points[0].offered_rps
+        notes = [
+            f"C-Clone max throughput {cclone.max_throughput_mrps():.2f} MRPS vs "
+            f"Baseline {base.max_throughput_mrps():.2f} MRPS "
+            f"(paper: about half)",
+            f"NetClone max throughput {netclone.max_throughput_mrps():.2f} MRPS "
+            f"(paper: tracks Baseline)",
+            f"p99 at lowest load: Baseline {base.p99_at_load(low):.0f} us, "
+            f"NetClone {netclone.p99_at_load(low):.0f} us "
+            f"(paper: NetClone lower)",
+        ]
+        sections.append(format_series(f"Figure 7 ({panel})", series, notes))
+    report = "\n".join(sections)
+    print(report)
+    return report
+
+
+@register("fig7", "synthetic workloads: Baseline vs C-Clone vs NetClone (4 panels)")
+def _run(scale: float = 1.0, seed: int = 1) -> str:
+    return run(scale, seed)

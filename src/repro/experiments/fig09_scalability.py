@@ -1,0 +1,80 @@
+"""Figure 9: impact of the number of worker servers.
+
+Baseline vs NetClone on Exp(25) with 2, 4 and 6 worker servers.
+Expected shape: throughput scales with the server count for both
+schemes; NetClone keeps p99 at or below the Baseline's, except that
+with only 2 (and sometimes 4) servers NetClone can be *worse* at very
+high load — stale cloning decisions herd clones onto busy servers and
+the dropped-clone processing costs show (§5.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ClusterConfig
+from repro.experiments.harness import (
+    capacity_rps,
+    format_series,
+    load_grid,
+    scaled_config,
+    sweep_schemes,
+)
+from repro.experiments.registry import register
+from repro.experiments.specs import make_synthetic_spec
+from repro.metrics.sweep import SweepResult
+
+__all__ = ["SERVER_COUNTS", "collect", "run"]
+
+SCHEMES = ("baseline", "netclone")
+SERVER_COUNTS = (2, 4, 6)
+WORKERS = 15
+
+
+def collect(scale: float = 1.0, seed: int = 1) -> Dict[int, Dict[str, SweepResult]]:
+    """Curves keyed by server count then scheme."""
+    results: Dict[int, Dict[str, SweepResult]] = {}
+    spec_factory = lambda: make_synthetic_spec("exp", mean_us=25.0)  # noqa: E731
+    for num_servers in SERVER_COUNTS:
+        spec = spec_factory()
+        config = scaled_config(
+            ClusterConfig(
+                workload=spec,
+                num_servers=num_servers,
+                workers_per_server=WORKERS,
+                seed=seed,
+            ),
+            scale,
+        )
+        capacity = capacity_rps(num_servers * WORKERS, spec.mean_service_ns)
+        loads = load_grid(capacity, scale)
+        results[num_servers] = sweep_schemes(config, SCHEMES, loads)
+    return results
+
+
+def run(scale: float = 1.0, seed: int = 1) -> str:
+    """Run Figure 9 and return the formatted report."""
+    results = collect(scale, seed)
+    sections = []
+    tput = {
+        n: results[n]["netclone"].max_throughput_mrps() for n in SERVER_COUNTS
+    }
+    for num_servers, series in results.items():
+        notes = [
+            f"NetClone({num_servers}) max throughput {tput[num_servers]:.2f} MRPS",
+        ]
+        sections.append(
+            format_series(f"Figure 9 ({num_servers} worker servers)", series, notes)
+        )
+    ordering = " < ".join(f"{tput[n]:.2f}" for n in SERVER_COUNTS)
+    sections.append(
+        f"scalability: NetClone max throughput grows with servers: {ordering} MRPS\n"
+    )
+    report = "\n".join(sections)
+    print(report)
+    return report
+
+
+@register("fig9", "impact of the number of worker servers (2/4/6)")
+def _run(scale: float = 1.0, seed: int = 1) -> str:
+    return run(scale, seed)

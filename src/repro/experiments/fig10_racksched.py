@@ -1,0 +1,88 @@
+"""Figure 10: performance with RackSched (§5.4).
+
+Baseline vs NetClone vs NetClone+RackSched on Exp(25) and
+Bimodal(90-25,10-250), under homogeneous (6×15 worker threads) and
+heterogeneous (3×15 + 3×8) clusters.
+
+Expected shape: NetClone+RackSched is the best overall; its edge over
+plain NetClone is largest on the heterogeneous clusters, where JSQ
+absorbs the load imbalance that random first-candidate forwarding
+cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.experiments.common import ClusterConfig
+from repro.experiments.harness import (
+    capacity_rps,
+    format_series,
+    load_grid,
+    scaled_config,
+    sweep_schemes,
+)
+from repro.experiments.registry import register
+from repro.experiments.specs import make_synthetic_spec
+from repro.metrics.sweep import SweepResult
+
+__all__ = ["PANELS", "collect", "run"]
+
+SCHEMES = ("baseline", "netclone", "netclone-racksched")
+
+HOMOGENEOUS: Union[int, Sequence[int]] = 15
+HETEROGENEOUS: Tuple[int, ...] = (15, 15, 15, 8, 8, 8)
+
+PANELS = {
+    "a-Exp-Homogeneous": ("exp", None, HOMOGENEOUS),
+    "b-Exp-Heterogeneous": ("exp", None, HETEROGENEOUS),
+    "c-Bimodal-Homogeneous": ("bimodal", ((0.9, 25.0), (0.1, 250.0)), HOMOGENEOUS),
+    "d-Bimodal-Heterogeneous": ("bimodal", ((0.9, 25.0), (0.1, 250.0)), HETEROGENEOUS),
+}
+
+NUM_SERVERS = 6
+
+
+def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+    """All four panels' curves, keyed by panel then scheme."""
+    results: Dict[str, Dict[str, SweepResult]] = {}
+    for panel, (kind, modes, workers) in PANELS.items():
+        spec = make_synthetic_spec(kind, mean_us=25.0, modes=modes)
+        config = scaled_config(
+            ClusterConfig(
+                workload=spec,
+                num_servers=NUM_SERVERS,
+                workers_per_server=workers,
+                seed=seed,
+            ),
+            scale,
+        )
+        total_workers = (
+            NUM_SERVERS * workers if isinstance(workers, int) else sum(workers)
+        )
+        capacity = capacity_rps(total_workers, spec.mean_service_ns)
+        loads = load_grid(capacity, scale)
+        results[panel] = sweep_schemes(config, SCHEMES, loads)
+    return results
+
+
+def run(scale: float = 1.0, seed: int = 1) -> str:
+    """Run Figure 10 and return the formatted report."""
+    sections = []
+    for panel, series in collect(scale, seed).items():
+        mid = series["baseline"].points[len(series["baseline"].points) // 2].offered_rps
+        notes = [
+            f"p99 at mid load: Baseline {series['baseline'].p99_at_load(mid):.0f} us, "
+            f"NetClone {series['netclone'].p99_at_load(mid):.0f} us, "
+            f"NetClone+RackSched {series['netclone-racksched'].p99_at_load(mid):.0f} us "
+            f"(paper: NetClone+RackSched best)",
+        ]
+        sections.append(format_series(f"Figure 10 ({panel})", series, notes))
+    report = "\n".join(sections)
+    print(report)
+    return report
+
+
+@register("fig10", "NetClone with RackSched, homogeneous and heterogeneous clusters")
+def _run(scale: float = 1.0, seed: int = 1) -> str:
+    return run(scale, seed)

@@ -1,0 +1,110 @@
+"""Figure 16: performance under switch failures (§5.6.4).
+
+Throughput over a 25-second timeline: the switch is stopped at t = 5 s
+and reactivated at t = 7 s; port/ASIC re-initialisation takes a few
+more seconds (the paper observes recovery at ~10 s and attributes the
+length of the gap to the switch architecture, not NetClone).
+
+Recovery wipes every register — NetClone keeps only soft state, so
+the wipe must be harmless: the sequence number restarts, state tables
+read IDLE, filter tables are empty, and the system simply resumes.
+The run asserts no permanent misbehaviour (no duplicate deliveries to
+the client after recovery; throughput returns to the offered rate).
+
+The simulated offered rate is scaled down (tens of KRPS rather than
+MRPS) to keep the 25-second timeline tractable in pure Python; the
+shape of the figure does not depend on the absolute rate because the
+cluster is far from saturation either way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.common import Cluster, ClusterConfig
+from repro.experiments.registry import register
+from repro.experiments.specs import make_synthetic_spec
+from repro.metrics.tables import format_table
+from repro.sim.monitor import IntervalMonitor
+from repro.sim.units import sec
+
+__all__ = ["collect", "run"]
+
+NUM_SERVERS = 6
+WORKERS = 15
+OFFERED_RPS = 40_000.0
+HORIZON_S = 25
+FAIL_AT_S = 5
+RECOVER_AT_S = 7
+REINIT_S = 3
+
+
+def collect(
+    scale: float = 1.0, seed: int = 1
+) -> Tuple[List[float], List[float], dict]:
+    """(window starts s, throughput KRPS per window, integrity stats)."""
+    horizon_s = HORIZON_S if scale >= 1.0 else max(10, int(HORIZON_S * scale))
+    spec = make_synthetic_spec("exp", mean_us=25.0)
+    config = ClusterConfig(
+        scheme="netclone",
+        workload=spec,
+        num_servers=NUM_SERVERS,
+        workers_per_server=WORKERS,
+        rate_rps=OFFERED_RPS * min(scale, 1.0),
+        warmup_ns=0,
+        measure_ns=sec(horizon_s),
+        drain_ns=sec(1),
+        seed=seed,
+    )
+    cluster = Cluster(config)
+    monitor = IntervalMonitor(window_ns=sec(1), horizon_ns=sec(horizon_s))
+    cluster.recorder.completion_monitor = monitor
+    switch = cluster.switch
+    cluster.sim.at(sec(FAIL_AT_S), switch.fail)
+    cluster.sim.at(sec(RECOVER_AT_S), switch.recover, sec(REINIT_S))
+    cluster.start()
+    cluster.run()
+    rates_krps = [rate / 1e3 for rate in monitor.rates_per_second()[:horizon_s]]
+    stats = {
+        "redundant_responses": sum(c.redundant_responses for c in cluster.clients),
+        "completed": cluster.recorder.completed_in_window,
+        "offered_rps": config.rate_rps,
+        "recovered_rate_krps": rates_krps[-1] if rates_krps else float("nan"),
+    }
+    return monitor.window_starts_sec()[: len(rates_krps)], rates_krps, stats
+
+
+def run(scale: float = 1.0, seed: int = 1) -> str:
+    """Run Figure 16 and return the formatted report."""
+    starts, rates, stats = collect(scale, seed)
+    lines = ["== Figure 16: throughput under a switch failure =="]
+    lines.append(
+        format_table(
+            ["time (s)", "throughput (KRPS)"],
+            [(f"{start:.0f}", f"{rate:.1f}") for start, rate in zip(starts, rates)],
+        )
+    )
+    offered_krps = stats["offered_rps"] / 1e3
+    outage = [rate for start, rate in zip(starts, rates) if FAIL_AT_S < start < RECOVER_AT_S]
+    lines.append("")
+    lines.append("shape checks:")
+    lines.append(
+        f"  - outage window throughput ~0 KRPS (measured "
+        f"{max(outage) if outage else float('nan'):.1f} KRPS)"
+    )
+    lines.append(
+        f"  - recovered to {stats['recovered_rate_krps']:.1f} KRPS of "
+        f"{offered_krps:.1f} KRPS offered by the end of the timeline"
+    )
+    lines.append(
+        f"  - no permanent misbehaviour: {stats['redundant_responses']} duplicate "
+        f"deliveries after the register wipe (paper: soft state only)"
+    )
+    report = "\n".join(lines)
+    print(report)
+    return report
+
+
+@register("fig16", "throughput timeline across a switch failure and recovery")
+def _run(scale: float = 1.0, seed: int = 1) -> str:
+    return run(scale, seed)

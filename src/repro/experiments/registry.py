@@ -1,0 +1,67 @@
+"""Experiment registry: IDs → harness entry points.
+
+Each entry point is ``run(scale: float, seed: int) -> str`` returning
+the formatted report it also prints.  ``scale`` shrinks measurement
+windows (and sweep densities) so the same harness serves quick smoke
+runs, benchmarks, and full reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "register"]
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register(experiment_id: str, description: str):
+    """Decorator registering an experiment harness."""
+
+    def wrap(fn: Callable[..., str]) -> Callable[..., str]:
+        if experiment_id in EXPERIMENTS:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = fn
+        _DESCRIPTIONS[experiment_id] = description
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[..., str]:
+    """The harness registered under *experiment_id*."""
+    _ensure_loaded()
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    """``id — description`` lines for every registered experiment."""
+    _ensure_loaded()
+    return [f"{key} — {_DESCRIPTIONS[key]}" for key in sorted(EXPERIMENTS)]
+
+
+def _ensure_loaded() -> None:
+    """Import every harness module so registrations run."""
+    from repro.experiments import (  # noqa: F401
+        fig07_synthetic,
+        fig08_comparison,
+        fig09_scalability,
+        fig10_racksched,
+        fig11_redis,
+        fig12_memcached,
+        fig13_state_confidence,
+        fig14_low_variability,
+        fig15_filtering,
+        fig16_switch_failure,
+        table1_comparison,
+        table_resources,
+    )

@@ -1,0 +1,118 @@
+"""Workload specifications shared by the experiment harnesses.
+
+A spec bundles the two scheme-independent halves of a workload: the
+per-client request generator and the per-server service model.  Specs
+are deliberately tiny factories so that every client gets its own RNG
+stream and every server its own store replica.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.apps.service import KvService, ServiceModel, SyntheticService
+from repro.errors import ExperimentError
+from repro.kvstore.cost import KvCostModel, MemcachedCostModel, RedisCostModel
+from repro.kvstore.store import KeyValueStore
+from repro.workloads.distributions import (
+    BimodalDistribution,
+    ExponentialDistribution,
+    ServiceDistribution,
+)
+from repro.workloads.kv import KvWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["KvSpec", "SyntheticSpec", "WorkloadSpec", "make_synthetic_spec"]
+
+
+class WorkloadSpec:
+    """Factory pair: client workloads and server services."""
+
+    name = "spec"
+
+    def make_workload(self, rng: random.Random):
+        """A request generator for one client."""
+        raise NotImplementedError
+
+    def make_service(self, server_index: int) -> ServiceModel:
+        """A service model for one server."""
+        raise NotImplementedError
+
+
+class SyntheticSpec(WorkloadSpec):
+    """Dummy-RPC spec around a service-time distribution factory."""
+
+    def __init__(self, distribution_factory, name: Optional[str] = None):
+        self._factory = distribution_factory
+        probe: ServiceDistribution = distribution_factory()
+        self.name = name if name is not None else probe.name
+        self.mean_service_ns = probe.mean_ns
+
+    def make_workload(self, rng: random.Random) -> SyntheticWorkload:
+        return SyntheticWorkload(self._factory(), rng)
+
+    def make_service(self, server_index: int) -> SyntheticService:
+        return SyntheticService()
+
+
+def make_synthetic_spec(
+    kind: str,
+    mean_us: float = 25.0,
+    modes: Optional[Sequence[Tuple[float, float]]] = None,
+) -> SyntheticSpec:
+    """The paper's synthetic workloads by name.
+
+    ``kind`` is ``"exp"`` (Exp(mean)) or ``"bimodal"`` (defaults to the
+    paper's 90 %-25 µs / 10 %-250 µs mix when *modes* is omitted).
+    """
+    if kind == "exp":
+        return SyntheticSpec(lambda: ExponentialDistribution(mean_us))
+    if kind == "bimodal":
+        chosen = tuple(modes) if modes is not None else ((0.9, 25.0), (0.1, 250.0))
+        return SyntheticSpec(lambda: BimodalDistribution(chosen))
+    raise ExperimentError(f"unknown synthetic workload kind {kind!r}")
+
+
+class KvSpec(WorkloadSpec):
+    """Key-value spec (§5.5): Zipf-0.99 keys, GET/SCAN mix."""
+
+    def __init__(
+        self,
+        cost_model: str = "redis",
+        scan_fraction: float = 0.01,
+        num_keys: int = 1_000_000,
+        zipf_skew: float = 0.99,
+        scan_count: int = 100,
+    ):
+        if cost_model == "redis":
+            self._cost_factory = RedisCostModel
+        elif cost_model == "memcached":
+            self._cost_factory = MemcachedCostModel
+        else:
+            raise ExperimentError(f"unknown cost model {cost_model!r}")
+        self.scan_fraction = scan_fraction
+        self.num_keys = num_keys
+        self.scan_count = scan_count
+        # One Zipf CDF shared by all clients (it is read-only and costs
+        # ~8 MB for a million keys).
+        self._zipf = ZipfGenerator(num_keys, zipf_skew)
+        probe: KvCostModel = self._cost_factory()
+        get_pct = round((1.0 - scan_fraction) * 100)
+        self.name = f"{probe.name}-{get_pct:g}%GET-{100 - get_pct:g}%SCAN"
+        self.mean_service_ns = (1.0 - scan_fraction) * probe.get_ns + scan_fraction * (
+            probe.scan_base_ns + probe.scan_per_item_ns * scan_count
+        )
+
+    def make_workload(self, rng: random.Random) -> KvWorkload:
+        return KvWorkload(
+            rng,
+            num_keys=self.num_keys,
+            scan_fraction=self.scan_fraction,
+            scan_count=self.scan_count,
+            zipf=self._zipf,
+        )
+
+    def make_service(self, server_index: int) -> KvService:
+        return KvService(KeyValueStore(self.num_keys), self._cost_factory())

@@ -1,0 +1,11 @@
+"""In-memory key-value store substrate (Redis- and Memcached-like)."""
+
+from repro.kvstore.cost import KvCostModel, MemcachedCostModel, RedisCostModel
+from repro.kvstore.store import KeyValueStore
+
+__all__ = [
+    "KeyValueStore",
+    "KvCostModel",
+    "MemcachedCostModel",
+    "RedisCostModel",
+]

@@ -1,0 +1,74 @@
+"""Service-time cost models for KV operations.
+
+These map an executed operation to the simulated service time a worker
+thread spends on it.  Constants are calibrated so the six-server,
+8-thread-per-server cluster saturates where Figures 11 and 12 do
+(~0.6 MRPS for 99 % GET / 1 % SCAN and ~0.15 MRPS for 90 % / 10 %):
+
+with 48 worker threads, saturation throughput = 48 / mean_service, so
+the paper's two saturation points imply a GET of ~50 µs (request
+handling, protocol parsing, allocation) and a SCAN of ~2.5 ms (100
+objects plus iteration overhead).  Memcached is modelled marginally
+cheaper on GET and costlier on SCAN, matching the small differences
+between Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KVStoreError
+from repro.workloads.kv import KvOp, KvRequest
+
+__all__ = ["KvCostModel", "MemcachedCostModel", "RedisCostModel"]
+
+
+class KvCostModel:
+    """Base cost model: fixed per-op cost plus per-object cost."""
+
+    name = "generic"
+
+    def __init__(self, get_ns: int, scan_base_ns: int, scan_per_item_ns: int, set_ns: int):
+        for value in (get_ns, scan_base_ns, scan_per_item_ns, set_ns):
+            if value < 0:
+                raise KVStoreError("cost constants must be non-negative")
+        self.get_ns = get_ns
+        self.scan_base_ns = scan_base_ns
+        self.scan_per_item_ns = scan_per_item_ns
+        self.set_ns = set_ns
+
+    def service_ns(self, request: KvRequest) -> int:
+        """Base service time of *request* (before execution jitter)."""
+        if request.op is KvOp.GET:
+            return self.get_ns
+        if request.op is KvOp.SCAN:
+            return self.scan_base_ns + self.scan_per_item_ns * request.count
+        if request.op is KvOp.SET:
+            return self.set_ns
+        raise KVStoreError(f"unknown op {request.op!r}")
+
+
+class RedisCostModel(KvCostModel):
+    """Redis-like costs (single GET ~50 µs end-to-end in the app server)."""
+
+    name = "redis"
+
+    def __init__(self):
+        super().__init__(
+            get_ns=50_000,
+            scan_base_ns=150_000,
+            scan_per_item_ns=24_000,
+            set_ns=55_000,
+        )
+
+
+class MemcachedCostModel(KvCostModel):
+    """Memcached-like costs (slightly cheaper GET, pricier SCAN path)."""
+
+    name = "memcached"
+
+    def __init__(self):
+        super().__init__(
+            get_ns=47_000,
+            scan_base_ns=180_000,
+            scan_per_item_ns=26_000,
+            set_ns=50_000,
+        )

@@ -1,0 +1,18 @@
+"""Measurement: latency recording, percentiles, sweeps, result tables."""
+
+from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.sweep import LoadPoint, SweepResult
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "LatencyRecorder",
+    "LoadPoint",
+    "SweepResult",
+    "format_table",
+    "percentile",
+]
+
+from repro.metrics.charts import render_chart, render_sweeps  # noqa: E402
+from repro.metrics.export import sweeps_to_csv, write_sweeps_csv  # noqa: E402
+
+__all__ += ["render_chart", "render_sweeps", "sweeps_to_csv", "write_sweeps_csv"]

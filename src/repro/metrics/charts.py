@@ -1,0 +1,99 @@
+"""ASCII charts for throughput-latency curves.
+
+The paper's figures are log-scale tail-latency curves; this renders
+the same series as terminal charts so `repro-netclone fig7` output can
+be eyeballed against the paper without a plotting stack.  Pure
+text — no matplotlib dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.metrics.sweep import SweepResult
+
+__all__ = ["render_chart", "render_sweeps"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_position(value: float, low: float, high: float, size: int) -> int:
+    span = math.log(high) - math.log(low)
+    if span <= 0:
+        return 0
+    fraction = (math.log(value) - math.log(low)) / span
+    return max(0, min(size - 1, int(round(fraction * (size - 1)))))
+
+
+def _linear_position(value: float, low: float, high: float, size: int) -> int:
+    span = high - low
+    if span <= 0:
+        return 0
+    fraction = (value - low) / span
+    return max(0, min(size - 1, int(round(fraction * (size - 1)))))
+
+
+def render_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "throughput (MRPS)",
+    y_label: str = "p99 (us, log)",
+) -> str:
+    """Render ``label -> [(x, y), ...]`` as a log-y scatter chart."""
+    points = [
+        (x, y) for curve in series.values() for x, y in curve if y > 0 and y == y
+    ]
+    if not points:
+        raise ExperimentError("nothing to chart")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:
+        y_high = y_low * 1.1 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in curve:
+            if y <= 0 or y != y:
+                continue
+            col = _linear_position(x, x_low, x_high, width)
+            row = height - 1 - _log_position(y, y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines = []
+    top_label = f"{y_high:,.0f}"
+    bottom_label = f"{y_low:,.0f}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f" {x_low:.2f}".ljust(width // 2)
+        + f"{x_high:.2f} {x_label}".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * gutter + f" {y_label};  {legend}")
+    return "\n".join(lines)
+
+
+def render_sweeps(sweeps: Sequence[SweepResult], **kwargs) -> str:
+    """Chart a group of sweep results (one marker per scheme)."""
+    series = {
+        sweep.scheme: [(p.throughput_mrps, p.p99_us) for p in sweep.points]
+        for sweep in sweeps
+    }
+    return render_chart(series, **kwargs)

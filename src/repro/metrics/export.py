@@ -1,0 +1,58 @@
+"""CSV export of experiment series.
+
+Each sweep becomes rows of a plain CSV so results can be re-plotted
+with any external tool; the schema is stable and covered by tests.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from repro.metrics.sweep import SweepResult
+
+__all__ = ["sweeps_to_csv", "write_sweeps_csv"]
+
+_FIELDS = [
+    "scheme",
+    "workload",
+    "offered_rps",
+    "throughput_rps",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "mean_us",
+    "samples",
+]
+
+
+def sweeps_to_csv(sweeps: Sequence[SweepResult]) -> str:
+    """Serialise *sweeps* to CSV text (header + one row per point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_FIELDS)
+    for sweep in sweeps:
+        for point in sweep.points:
+            writer.writerow(
+                [
+                    sweep.scheme,
+                    sweep.workload,
+                    f"{point.offered_rps:.1f}",
+                    f"{point.throughput_rps:.1f}",
+                    f"{point.p50_us:.3f}",
+                    f"{point.p99_us:.3f}",
+                    f"{point.p999_us:.3f}",
+                    f"{point.mean_us:.3f}",
+                    point.samples,
+                ]
+            )
+    return buffer.getvalue()
+
+
+def write_sweeps_csv(path: str, sweeps: Sequence[SweepResult]) -> int:
+    """Write *sweeps* to *path*; returns the number of data rows."""
+    text = sweeps_to_csv(sweeps)
+    with open(path, "w", newline="") as handle:
+        handle.write(text)
+    return sum(len(sweep.points) for sweep in sweeps)

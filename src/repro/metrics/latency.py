@@ -1,0 +1,127 @@
+"""Latency recording with a measurement window.
+
+The paper's client "measures the throughput and latency by generating
+requests at a given target sending rate".  The recorder implements the
+standard open-loop methodology: samples whose *send time* falls inside
+``[warmup_ns, end_ns)`` count toward latency percentiles and
+throughput; everything else (cold start, drain tail) is ignored.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sim.units import SECONDS
+
+__all__ = ["LatencyRecorder", "percentile"]
+
+
+def percentile(samples: Sequence[int], q: float) -> float:
+    """The *q*-th percentile of *samples* in the same unit (ns).
+
+    Uses the "lower" interpolation so the value is an observed sample,
+    matching how tail latency is usually reported.
+    """
+    if len(samples) == 0:
+        return float("nan")
+    if not 0 <= q <= 100:
+        raise ExperimentError(f"percentile {q} out of range")
+    return float(np.percentile(np.asarray(samples, dtype=np.int64), q, method="lower"))
+
+
+class LatencyRecorder:
+    """Collects request latencies inside a measurement window."""
+
+    def __init__(self, warmup_ns: int = 0, end_ns: Optional[int] = None):
+        if warmup_ns < 0:
+            raise ExperimentError("warmup must be non-negative")
+        if end_ns is not None and end_ns <= warmup_ns:
+            raise ExperimentError("measurement window must be non-empty")
+        self.warmup_ns = warmup_ns
+        self.end_ns = end_ns
+        self.latencies_ns = array("q")
+        self.sent_in_window = 0
+        self.completed_in_window = 0
+        #: Optional IntervalMonitor fed with completion times (Fig. 16).
+        self.completion_monitor = None
+
+    # ------------------------------------------------------------------
+    def _in_window(self, time_ns: int) -> bool:
+        if time_ns < self.warmup_ns:
+            return False
+        return self.end_ns is None or time_ns < self.end_ns
+
+    def note_sent(self, send_time_ns: int) -> None:
+        """Count one request sent at *send_time_ns*."""
+        if self._in_window(send_time_ns):
+            self.sent_in_window += 1
+
+    def record(self, send_time_ns: int, done_time_ns: int) -> None:
+        """Record a completed request (first response received).
+
+        Throughput counts completions *occurring* inside the window (so
+        a saturated system reports its service rate, not the offered
+        rate); latency samples belong to requests *sent* inside the
+        window (so cold-start and drain artefacts are excluded).
+        """
+        if done_time_ns < send_time_ns:
+            raise ExperimentError("completion before send")
+        if self.completion_monitor is not None:
+            self.completion_monitor.note(done_time_ns)
+        if self._in_window(done_time_ns):
+            self.completed_in_window += 1
+        if self._in_window(send_time_ns):
+            self.latencies_ns.append(done_time_ns - send_time_ns)
+
+    # ------------------------------------------------------------------
+    @property
+    def window_ns(self) -> Optional[int]:
+        """Length of the measurement window, if bounded."""
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.warmup_ns
+
+    def throughput_rps(self) -> float:
+        """Completed requests per second over the window."""
+        window = self.window_ns
+        if window is None or window <= 0:
+            return float("nan")
+        return self.completed_in_window * SECONDS / window
+
+    def offered_rps(self) -> float:
+        """Requests sent per second over the window."""
+        window = self.window_ns
+        if window is None or window <= 0:
+            return float("nan")
+        return self.sent_in_window * SECONDS / window
+
+    def p50_us(self) -> float:
+        """Median latency in microseconds."""
+        return percentile(self.latencies_ns, 50) / 1000.0
+
+    def p99_us(self) -> float:
+        """99th-percentile latency in microseconds."""
+        return percentile(self.latencies_ns, 99) / 1000.0
+
+    def p999_us(self) -> float:
+        """99.9th-percentile latency in microseconds."""
+        return percentile(self.latencies_ns, 99.9) / 1000.0
+
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        if not self.latencies_ns:
+            return float("nan")
+        return float(np.mean(np.frombuffer(self.latencies_ns, dtype=np.int64))) / 1000.0
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        self.latencies_ns.extend(other.latencies_ns)
+        self.sent_in_window += other.sent_in_window
+        self.completed_in_window += other.completed_in_window
+
+    def __len__(self) -> int:
+        return len(self.latencies_ns)

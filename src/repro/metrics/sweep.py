@@ -1,0 +1,78 @@
+"""Load-sweep result containers.
+
+Every throughput-latency figure in the paper is a sweep: offered load
+on the x-axis (measured throughput, MRPS) and tail latency on the
+y-axis.  :class:`LoadPoint` is one (scheme, load) measurement;
+:class:`SweepResult` is a labelled series of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["LoadPoint", "SweepResult"]
+
+
+@dataclass
+class LoadPoint:
+    """One measured operating point."""
+
+    offered_rps: float
+    throughput_rps: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    mean_us: float
+    samples: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_mrps(self) -> float:
+        """Throughput in millions of requests per second."""
+        return self.throughput_rps / 1e6
+
+    def row(self) -> str:
+        """One formatted table row."""
+        return (
+            f"{self.offered_rps / 1e6:8.3f} {self.throughput_mrps:10.3f} "
+            f"{self.p50_us:9.1f} {self.p99_us:9.1f} {self.p999_us:10.1f}"
+        )
+
+
+@dataclass
+class SweepResult:
+    """A labelled series of load points (one curve in a figure)."""
+
+    scheme: str
+    workload: str
+    points: List[LoadPoint] = field(default_factory=list)
+
+    HEADER = (
+        f"{'offered':>8} {'tput_MRPS':>10} {'p50_us':>9} {'p99_us':>9} {'p999_us':>10}"
+    )
+
+    def add(self, point: LoadPoint) -> None:
+        """Append one measured point."""
+        self.points.append(point)
+
+    def max_throughput_mrps(self) -> float:
+        """Highest measured throughput along the curve."""
+        if not self.points:
+            return float("nan")
+        return max(point.throughput_mrps for point in self.points)
+
+    def p99_at_load(self, offered_rps: float, tolerance: float = 0.3) -> float:
+        """p99 at the point closest to *offered_rps* (nan if too far)."""
+        if not self.points:
+            return float("nan")
+        best = min(self.points, key=lambda p: abs(p.offered_rps - offered_rps))
+        if offered_rps > 0 and abs(best.offered_rps - offered_rps) / offered_rps > tolerance:
+            return float("nan")
+        return best.p99_us
+
+    def format(self) -> str:
+        """Multi-line text table for this curve."""
+        lines = [f"# {self.scheme} on {self.workload}", self.HEADER]
+        lines.extend(point.row() for point in self.points)
+        return "\n".join(lines)

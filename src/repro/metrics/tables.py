@@ -1,0 +1,26 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render *rows* under *headers* with aligned columns."""
+    columns = len(headers)
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

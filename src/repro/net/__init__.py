@@ -1,0 +1,44 @@
+"""Network substrate: packets, headers, links, NICs, hosts, topologies.
+
+The model is intra-rack Ethernet/IPv4/UDP.  Addresses are stored as
+integers on the hot path (see :mod:`addresses`); byte-level codecs for
+the Ethernet/IPv4/UDP headers live in :mod:`headers` and are used by
+tests and the tracer, not per simulated packet.
+"""
+
+from repro.net.addresses import (
+    format_ip,
+    format_mac,
+    ip_to_int,
+    mac_to_int,
+)
+from repro.net.headers import EthernetHeader, IPv4Header, UDPHeader
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+)
+from repro.net.topology import StarTopology
+from repro.net.trace import PacketTracer, TraceRecord
+
+__all__ = [
+    "EthernetHeader",
+    "Host",
+    "IPv4Header",
+    "Link",
+    "Nic",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "PacketTracer",
+    "StarTopology",
+    "TraceRecord",
+    "UDPHeader",
+    "format_ip",
+    "format_mac",
+    "ip_to_int",
+    "mac_to_int",
+]

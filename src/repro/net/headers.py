@@ -1,0 +1,152 @@
+"""Byte-exact header codecs for Ethernet, IPv4 and UDP.
+
+These are not used per simulated packet (the simulator works on the
+slotted :class:`repro.net.packet.Packet`); they pin down the wire
+format the system would use on a real network, and the test suite
+round-trips them to prove the encodings are self-consistent.  The
+IPv4 checksum is computed for real.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+__all__ = ["EthernetHeader", "IPv4Header", "UDPHeader", "internet_checksum"]
+
+ETHERTYPE_IPV4 = 0x0800
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over *data*."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class EthernetHeader:
+    """14-byte Ethernet II header."""
+
+    dst_mac: int
+    src_mac: int
+    ethertype: int = ETHERTYPE_IPV4
+
+    WIRE_SIZE = 14
+
+    def pack(self) -> bytes:
+        """Encode to 14 bytes."""
+        if not 0 <= self.dst_mac < (1 << 48) or not 0 <= self.src_mac < (1 << 48):
+            raise CodecError("MAC address out of range")
+        return (
+            self.dst_mac.to_bytes(6, "big")
+            + self.src_mac.to_bytes(6, "big")
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        """Decode from at least 14 bytes."""
+        if len(data) < cls.WIRE_SIZE:
+            raise CodecError(f"Ethernet header needs 14 bytes, got {len(data)}")
+        dst = int.from_bytes(data[0:6], "big")
+        src = int.from_bytes(data[6:12], "big")
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst_mac=dst, src_mac=src, ethertype=ethertype)
+
+
+@dataclass
+class IPv4Header:
+    """20-byte IPv4 header (no options)."""
+
+    src: int
+    dst: int
+    protocol: int
+    total_length: int
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+
+    WIRE_SIZE = 20
+
+    def pack(self) -> bytes:
+        """Encode to 20 bytes with a valid header checksum."""
+        if not 0 <= self.src < (1 << 32) or not 0 <= self.dst < (1 << 32):
+            raise CodecError("IPv4 address out of range")
+        if not 0 <= self.total_length < (1 << 16):
+            raise CodecError("IPv4 total_length out of range")
+        version_ihl = (4 << 4) | 5
+        without_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            0,  # flags / fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(4, "big"),
+            self.dst.to_bytes(4, "big"),
+        )
+        checksum = internet_checksum(without_checksum)
+        return without_checksum[:10] + struct.pack("!H", checksum) + without_checksum[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Decode from at least 20 bytes, verifying the checksum."""
+        if len(data) < cls.WIRE_SIZE:
+            raise CodecError(f"IPv4 header needs 20 bytes, got {len(data)}")
+        header = data[:20]
+        if internet_checksum(header) != 0:
+            raise CodecError("IPv4 header checksum mismatch")
+        version_ihl, tos, total_length, ident, _frag, ttl, protocol, _csum = struct.unpack(
+            "!BBHHHBBH", header[:12]
+        )
+        if version_ihl >> 4 != 4:
+            raise CodecError("not an IPv4 packet")
+        src = int.from_bytes(header[12:16], "big")
+        dst = int.from_bytes(header[16:20], "big")
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            total_length=total_length,
+            ttl=ttl,
+            identification=ident,
+            dscp=tos >> 2,
+        )
+
+
+@dataclass
+class UDPHeader:
+    """8-byte UDP header (checksum left zero, legal for IPv4)."""
+
+    sport: int
+    dport: int
+    length: int
+
+    WIRE_SIZE = 8
+
+    def pack(self) -> bytes:
+        """Encode to 8 bytes."""
+        for port in (self.sport, self.dport):
+            if not 0 <= port < (1 << 16):
+                raise CodecError(f"UDP port out of range: {port}")
+        if not 0 <= self.length < (1 << 16):
+            raise CodecError("UDP length out of range")
+        return struct.pack("!HHHH", self.sport, self.dport, self.length, 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        """Decode from at least 8 bytes."""
+        if len(data) < cls.WIRE_SIZE:
+            raise CodecError(f"UDP header needs 8 bytes, got {len(data)}")
+        sport, dport, length, _checksum = struct.unpack("!HHHH", data[:8])
+        return cls(sport=sport, dport=dport, length=length)

@@ -1,0 +1,72 @@
+"""Host base class.
+
+A host owns a NIC, is attached to exactly one link (its ToR uplink in
+the star topologies used throughout), and dispatches received packets
+to :meth:`handle`, which applications override.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One end host (client, server, or coordinator)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        tx_cost_ns: int = 700,
+        rx_cost_ns: int = 700,
+        rx_queue_limit: int = 4096,
+    ):
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.nic = Nic(
+            sim,
+            tx_cost_ns=tx_cost_ns,
+            rx_cost_ns=rx_cost_ns,
+            rx_queue_limit=rx_queue_limit,
+        )
+        self.link: Optional[Link] = None
+
+    # ------------------------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        """Connect this host to its (single) uplink."""
+        if self.link is not None:
+            raise NetworkError(f"{self.name} is already attached to a link")
+        self.link = link
+
+    def send(self, packet: Packet) -> None:
+        """Send *packet* through the NIC TX path onto the uplink."""
+        if self.link is None:
+            raise NetworkError(f"{self.name} has no link attached")
+        self.nic.tx(packet, self._emit)
+
+    def _emit(self, packet: Packet) -> None:
+        assert self.link is not None
+        self.link.send(packet, self)
+
+    def deliver(self, packet: Packet, link: Link) -> None:
+        """Called by the link when *packet* arrives at this host."""
+        self.nic.rx(packet, self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, packet: Packet) -> None:
+        """Application hook; default drops the packet silently."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.net.addresses import format_ip
+
+        return f"<Host {self.name} {format_ip(self.ip)}>"

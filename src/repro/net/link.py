@@ -1,0 +1,99 @@
+"""Point-to-point full-duplex links.
+
+A link connects two endpoints (anything with a ``deliver(packet,
+link)`` method).  Each direction models:
+
+* **serialisation** — back-to-back packets queue behind one another at
+  the line rate (a per-direction "next free" timestamp), and
+* **propagation** — a fixed flight time.
+
+At 100 Gb/s a 128 B packet serialises in ~10 ns, so serialisation is
+rarely the bottleneck in these experiments, but it is modelled so that
+congestion behaves correctly if an experiment drives a link hard.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.errors import NetworkError
+from repro.sim.core import Simulator
+
+__all__ = ["Link"]
+
+#: Bits per byte, named for readability in the delay arithmetic.
+_BITS = 8
+
+
+class Link:
+    """A full-duplex cable between endpoints ``a`` and ``b``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Any,
+        b: Any,
+        propagation_ns: int = 300,
+        bandwidth_bps: float = 100e9,
+        name: str = "",
+        loss_probability: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+    ):
+        if propagation_ns < 0:
+            raise NetworkError("propagation delay must be non-negative")
+        if bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError("loss probability must lie in [0, 1)")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.propagation_ns = propagation_ns
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name or f"link({getattr(a, 'name', a)}-{getattr(b, 'name', b)})"
+        self._free_at = {id(a): 0, id(b): 0}
+        #: Set True to drop everything (used by failure experiments).
+        self.down = False
+        #: Random per-packet loss (used by the reliability tests).
+        self.loss_probability = loss_probability
+        self._loss_rng = loss_rng if loss_rng is not None else random.Random(0x105)
+        self.tx_count = 0
+        self.drop_count = 0
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        """Time to clock *size_bytes* onto the wire at the line rate."""
+        return int(round(size_bytes * _BITS / self.bandwidth_bps * 1e9))
+
+    def other_end(self, endpoint: Any) -> Any:
+        """The endpoint opposite *endpoint*."""
+        if endpoint is self.a:
+            return self.b
+        if endpoint is self.b:
+            return self.a
+        raise NetworkError(f"{endpoint!r} is not attached to {self.name}")
+
+    def send(self, packet: Any, from_endpoint: Any) -> Optional[int]:
+        """Transmit *packet* from one endpoint toward the other.
+
+        Returns the delivery time, or ``None`` if the link is down and
+        the packet was dropped.
+        """
+        destination = self.other_end(from_endpoint)
+        if self.down:
+            self.drop_count += 1
+            return None
+        if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
+            self.drop_count += 1
+            return None
+        key = id(from_endpoint)
+        now = self.sim.now
+        start = self._free_at[key]
+        if start < now:
+            start = now
+        done_serialising = start + self.serialization_ns(packet.size)
+        self._free_at[key] = done_serialising
+        arrival = done_serialising + self.propagation_ns
+        self.tx_count += 1
+        self.sim.at(arrival, destination.deliver, packet, self)
+        return arrival

@@ -1,0 +1,93 @@
+"""Host NIC / network-stack model.
+
+The testbed in the paper uses VMA kernel-bypass networking, where each
+packet still costs on the order of a microsecond of CPU in the send and
+receive paths.  That per-packet cost is what makes redundant slower
+responses harmful (§5.6.3 / Figure 15), so we model it explicitly:
+
+* the TX path is a single resource — consecutive sends queue behind a
+  per-packet ``tx_cost_ns``;
+* the RX path is likewise a single resource with ``rx_cost_ns``; an
+  optional bounded RX queue drops packets on overflow, as a real
+  userspace poll loop would when its ring fills.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.sim.core import Simulator
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """Serialising send/receive stack of one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tx_cost_ns: int = 700,
+        rx_cost_ns: int = 700,
+        rx_queue_limit: int = 4096,
+    ):
+        if tx_cost_ns < 0 or rx_cost_ns < 0:
+            raise NetworkError("per-packet costs must be non-negative")
+        if rx_queue_limit <= 0:
+            raise NetworkError("rx_queue_limit must be positive")
+        self.sim = sim
+        self.tx_cost_ns = tx_cost_ns
+        self.rx_cost_ns = rx_cost_ns
+        self.rx_queue_limit = rx_queue_limit
+        self._tx_free_at = 0
+        self._rx_free_at = 0
+        self.tx_count = 0
+        self.rx_count = 0
+        self.rx_dropped = 0
+
+    # ------------------------------------------------------------------
+    def tx(self, packet: Any, emit: Callable[[Any], None]) -> int:
+        """Pass *packet* through the send path, then call ``emit(packet)``.
+
+        Returns the time at which the packet leaves the host.
+        """
+        now = self.sim.now
+        start = self._tx_free_at if self._tx_free_at > now else now
+        done = start + self.tx_cost_ns
+        self._tx_free_at = done
+        self.tx_count += 1
+        if done == now:
+            emit(packet)
+        else:
+            self.sim.at(done, emit, packet)
+        return done
+
+    def rx(self, packet: Any, handler: Callable[[Any], None]) -> bool:
+        """Pass *packet* through the receive path, then ``handler(packet)``.
+
+        Returns ``False`` (and counts a drop) when the modelled RX queue
+        is full — i.e. when the backlog of not-yet-processed packets
+        exceeds ``rx_queue_limit``.
+        """
+        now = self.sim.now
+        start = self._rx_free_at if self._rx_free_at > now else now
+        if self.rx_cost_ns > 0:
+            backlog = (start - now) // self.rx_cost_ns
+            if backlog >= self.rx_queue_limit:
+                self.rx_dropped += 1
+                return False
+        done = start + self.rx_cost_ns
+        self._rx_free_at = done
+        self.rx_count += 1
+        if done == now:
+            handler(packet)
+        else:
+            self.sim.at(done, handler, packet)
+        return True
+
+    @property
+    def rx_backlog_ns(self) -> int:
+        """How far ahead of *now* the RX path is currently booked."""
+        backlog = self._rx_free_at - self.sim.now
+        return backlog if backlog > 0 else 0

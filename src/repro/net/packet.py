@@ -1,0 +1,115 @@
+"""The in-simulator packet representation.
+
+A :class:`Packet` is a slotted object rather than real bytes: the hot
+path copies and inspects fields millions of times per experiment, so we
+keep it as lean as possible.  Byte-exact encodings of the protocol
+headers exist in :mod:`repro.net.headers` (and
+:mod:`repro.core.header` for the NetClone header) and are exercised by
+the test suite to show the wire format is well defined.
+
+Switch-internal metadata (ingress port, recirculation flag, multicast
+group) also lives here, mirroring how PISA attaches per-packet metadata
+alongside the parsed header vector.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Optional
+
+__all__ = ["PROTO_TCP", "PROTO_UDP", "Packet"]
+
+#: IANA protocol number for UDP.
+PROTO_UDP = 17
+#: IANA protocol number for TCP.
+PROTO_TCP = 6
+
+_packet_uid = count(1)
+
+
+class Packet:
+    """One simulated datagram.
+
+    :param src: source IPv4 address (integer form).
+    :param dst: destination IPv4 address (integer form).
+    :param sport: source L4 port.
+    :param dport: destination L4 port.
+    :param size: total on-wire size in bytes (used for serialisation
+        delay).
+    :param payload: opaque application payload object.
+    :param nc: optional NetClone header (``repro.core.header.
+        NetCloneHeader``); ``None`` for normal traffic.
+    :param proto: L4 protocol number, UDP by default.
+    """
+
+    __slots__ = (
+        "uid",
+        "src",
+        "dst",
+        "sport",
+        "dport",
+        "proto",
+        "size",
+        "payload",
+        "nc",
+        "ingress_port",
+        "recirculated",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        size: int,
+        payload: Any = None,
+        nc: Optional[Any] = None,
+        proto: int = PROTO_UDP,
+        created_at: int = 0,
+    ):
+        self.uid = next(_packet_uid)
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.proto = proto
+        self.size = size
+        self.payload = payload
+        self.nc = nc
+        #: Switch metadata: port the packet entered on (set by the switch).
+        self.ingress_port: int = -1
+        #: Switch metadata: whether this pass is a recirculated one.
+        self.recirculated: bool = False
+        #: Simulated time the packet object was created (client send time).
+        self.created_at = created_at
+
+    def copy(self) -> "Packet":
+        """A field-by-field copy with a fresh uid and clean switch metadata.
+
+        The NetClone header is copied too (it is mutable); the payload
+        is shared, matching how a hardware clone duplicates bytes but
+        our simulator treats the payload as opaque.
+        """
+        clone = Packet(
+            self.src,
+            self.dst,
+            self.sport,
+            self.dport,
+            self.size,
+            payload=self.payload,
+            nc=self.nc.copy() if self.nc is not None else None,
+            proto=self.proto,
+            created_at=self.created_at,
+        )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.net.addresses import format_ip
+
+        kind = "nc" if self.nc is not None else "plain"
+        return (
+            f"<Packet #{self.uid} {kind} {format_ip(self.src)}:{self.sport} -> "
+            f"{format_ip(self.dst)}:{self.dport} {self.size}B>"
+        )

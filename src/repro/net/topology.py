@@ -1,0 +1,80 @@
+"""Topology builders.
+
+The paper's testbed is a single rack: one ToR switch with every host a
+direct cable away.  :class:`StarTopology` wires hosts to switch ports,
+assigns addresses, and installs L3 routes.  It is deliberately generic
+over the switch object (anything exposing ``connect(port, link)`` and
+``install_route(ip, port)``) so both the programmable switch model and
+test doubles can be used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import NetworkError, PortError
+from repro.net.addresses import ip_to_int
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.sim.core import Simulator
+
+__all__ = ["StarTopology"]
+
+
+class StarTopology:
+    """A single-switch star: every host gets its own switch port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Any,
+        propagation_ns: int = 300,
+        bandwidth_bps: float = 100e9,
+        subnet: str = "10.0.1.0",
+    ):
+        self.sim = sim
+        self.switch = switch
+        self.propagation_ns = propagation_ns
+        self.bandwidth_bps = bandwidth_bps
+        self.subnet_base = ip_to_int(subnet)
+        self.hosts: List[Host] = []
+        self.links: List[Link] = []
+        self.port_of: Dict[str, int] = {}
+        self._next_port = 0
+        self._next_host_octet = 100
+
+    def allocate_ip(self) -> int:
+        """Next free address in the subnet (``.101``, ``.102``, ...)."""
+        self._next_host_octet += 1
+        if self._next_host_octet > 254:
+            raise NetworkError("subnet exhausted")
+        return self.subnet_base + self._next_host_octet
+
+    def add_host(self, host: Host) -> int:
+        """Cable *host* to the next switch port; returns the port index."""
+        if host.name in self.port_of:
+            raise PortError(f"host {host.name} already attached")
+        port = self._next_port
+        self._next_port += 1
+        link = Link(
+            self.sim,
+            host,
+            self.switch,
+            propagation_ns=self.propagation_ns,
+            bandwidth_bps=self.bandwidth_bps,
+            name=f"link-{host.name}",
+        )
+        host.attach_link(link)
+        self.switch.connect(port, link)
+        self.switch.install_route(host.ip, port)
+        self.hosts.append(host)
+        self.links.append(link)
+        self.port_of[host.name] = port
+        return port
+
+    def link_of(self, host: Host) -> Link:
+        """The uplink of *host*."""
+        port = self.port_of.get(host.name)
+        if port is None:
+            raise PortError(f"host {host.name} not attached")
+        return self.links[port]

@@ -1,0 +1,70 @@
+"""Packet tracing.
+
+A lightweight, optional observer that components call into when a
+tracer is installed.  Used by tests to assert on packet-level behaviour
+and by the examples to print annotated timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.net.addresses import format_ip
+
+__all__ = ["PacketTracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time_ns: int
+    where: str
+    event: str
+    packet_uid: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns:>12} ns] {self.where:<14} {self.event:<18} pkt#{self.packet_uid} {self.detail}"
+
+
+class PacketTracer:
+    """Collects :class:`TraceRecord` entries, optionally bounded."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+
+    def note(self, time_ns: int, where: str, event: str, packet: Any, detail: str = "") -> None:
+        """Record one event about *packet*."""
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        self.records.append(
+            TraceRecord(
+                time_ns=time_ns,
+                where=where,
+                event=event,
+                packet_uid=getattr(packet, "uid", -1),
+                detail=detail,
+            )
+        )
+
+    def events(self, event: Optional[str] = None, where: Optional[str] = None) -> List[TraceRecord]:
+        """Records filtered by event type and/or location."""
+        out = self.records
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        if where is not None:
+            out = [r for r in out if r.where == where]
+        return list(out)
+
+    def format_packet(self, packet: Any) -> str:
+        """Human-readable one-liner describing *packet*."""
+        return (
+            f"{format_ip(packet.src)}:{packet.sport}->"
+            f"{format_ip(packet.dst)}:{packet.dport}"
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)

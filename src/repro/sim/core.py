@@ -1,0 +1,179 @@
+"""Core discrete-event engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Entries
+are ``(time, seq, handle)`` tuples: ``time`` orders events, ``seq`` is a
+monotonically increasing tie-breaker that guarantees FIFO ordering for
+events scheduled at the same instant, and ``handle`` carries the
+callback.  Cancellation is O(1): the handle is flagged and skipped when
+popped (lazy deletion).
+
+The callback API is deliberately minimal because it sits on the hot
+path of every simulated packet.  Higher-level conveniences (generator
+processes, resources) are layered on top in sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.at`.  They are true-ish while still pending.
+    """
+
+    __slots__ = ("fn", "args", "cancelled", "time")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __bool__(self) -> bool:
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<EventHandle t={self.time} {name} {state}>"
+
+
+class Simulator:
+    """A discrete-event simulator with an integer nanosecond clock.
+
+    Typical callback-style use::
+
+        sim = Simulator()
+        sim.schedule(1_000, print, "one microsecond later")
+        sim.run()
+
+    The engine never invents time: the clock only advances to the
+    timestamp of the next scheduled event.
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_running", "_event_count")
+
+    def __init__(self) -> None:
+        #: Current simulated time in nanoseconds.
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, EventHandle]] = []
+        self._seq = 0
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` ns after *now*.
+
+        ``delay`` must be non-negative; a zero delay runs after all
+        events already scheduled for the current instant (FIFO).
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute ``time`` ns."""
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} which is before now={self.now}"
+            )
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was
+        empty (cancelled entries are discarded silently).
+        """
+        queue = self._queue
+        while queue:
+            time, _seq, handle = heapq.heappop(queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self._event_count += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains or a limit is hit.
+
+        :param until: stop (and fast-forward the clock to ``until``)
+            once the next event is strictly later than this time.
+        :param max_events: stop after this many events have run.
+        :returns: the number of events executed by this call.
+        """
+        queue = self._queue
+        executed = 0
+        self._running = True
+        try:
+            while queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                time, _seq, handle = queue[0]
+                if handle.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                heapq.heappop(queue)
+                self.now = time
+                self._event_count += 1
+                handle.fn(*handle.args)
+                executed += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return executed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queue entries, including lazily-cancelled ones."""
+        return len(self._queue)
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events executed since construction."""
+        return self._event_count
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if drained."""
+        queue = self._queue
+        while queue:
+            time, _seq, handle = queue[0]
+            if handle.cancelled:
+                heapq.heappop(queue)
+                continue
+            return time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now} pending={len(self._queue)}>"

@@ -1,0 +1,267 @@
+"""Generator-based simulation processes.
+
+This layers a SimPy-flavoured coroutine model over the callback engine
+in :mod:`repro.sim.core`.  A *process* is a generator that yields
+:class:`ProcessEvent` objects; the process resumes when the yielded
+event fires, receiving the event's value via ``send`` (or the event's
+exception via ``throw``).
+
+Example::
+
+    def worker(sim):
+        yield Timeout(sim, us(5))
+        print("5 microseconds elapsed at", sim.now)
+
+    sim = Simulator()
+    Process(sim, worker(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import ProcessError
+from repro.sim.core import Simulator
+
+__all__ = ["AllOf", "AnyOf", "Interrupt", "Process", "ProcessEvent", "Timeout"]
+
+
+class Interrupt(Exception):
+    """Thrown inside a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessEvent:
+    """An occurrence that processes can wait on.
+
+    Events start *pending*, then either *succeed* with a value or
+    *fail* with an exception.  Callbacks registered before the event
+    triggers are invoked (in registration order) when it does.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_state")
+
+    _PENDING = 0
+    _SUCCEEDED = 1
+    _FAILED = 2
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.callbacks: List[Callable[[ProcessEvent], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = self._PENDING
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has succeeded or failed."""
+        return self._state != self._PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded."""
+        return self._state == self._SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        """The success value (or the exception for failed events)."""
+        if self._state == self._FAILED:
+            return self._exc
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "ProcessEvent":
+        """Mark the event successful and dispatch callbacks."""
+        if self._state != self._PENDING:
+            raise ProcessError(f"{self!r} already triggered")
+        self._state = self._SUCCEEDED
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "ProcessEvent":
+        """Mark the event failed and dispatch callbacks."""
+        if self._state != self._PENDING:
+            raise ProcessError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise ProcessError("fail() requires an exception instance")
+        self._state = self._FAILED
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["ProcessEvent"], None]) -> None:
+        """Register *callback*; fires immediately if already triggered."""
+        if self.triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        states = {0: "pending", 1: "succeeded", 2: "failed"}
+        return f"<{type(self).__name__} {states[self._state]}>"
+
+
+class Timeout(ProcessEvent):
+    """An event that succeeds ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Simulator, delay: int, value: Any = None):
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self.succeed, value)
+
+
+class Process(ProcessEvent):
+    """Wraps a generator and drives it through the event loop.
+
+    The process itself is an event: it succeeds with the generator's
+    return value, or fails with the exception that escaped it, so
+    processes can wait on each other simply by yielding them.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: Simulator, generator: Generator[ProcessEvent, Any, Any]):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        self._waiting_on: Optional[ProcessEvent] = None
+        # Start on a fresh event-loop turn so construction order does not
+        # leak into execution order at time zero.
+        sim.schedule(0, self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not finished yet."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that has not started yet is allowed.
+        """
+        if self.triggered:
+            raise ProcessError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None:
+            # Detach from the event we were waiting on; it may still
+            # trigger later but must not resume us twice.
+            try:
+                target.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        self.sim.schedule(0, self._resume, None, Interrupt(cause))
+
+    # -- driving -------------------------------------------------------
+    def _on_event(self, event: ProcessEvent) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as uncaught:
+            self.fail(uncaught)
+            return
+        except Exception as error:
+            self.fail(error)
+            return
+        if not isinstance(target, ProcessEvent):
+            self.fail(
+                ProcessError(
+                    f"process yielded {type(target).__name__}; expected ProcessEvent"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class AnyOf(ProcessEvent):
+    """Succeeds when the first of *events* succeeds.
+
+    The value is a list of ``(event, value)`` pairs for every event that
+    had triggered by the time the condition fired.  Fails if any child
+    fails first.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: Simulator, events: Iterable[ProcessEvent]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            sim.schedule(0, self.succeed, [])
+            return
+        for event in self.events:
+            event.add_callback(self._child_triggered)
+
+    def _child_triggered(self, event: ProcessEvent) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        done = [(ev, ev.value) for ev in self.events if ev.triggered and ev.ok]
+        self.succeed(done)
+
+
+class AllOf(ProcessEvent):
+    """Succeeds when every one of *events* has succeeded.
+
+    The value is the list of child values in construction order.  Fails
+    as soon as any child fails.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: Simulator, events: Iterable[ProcessEvent]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            sim.schedule(0, self.succeed, [])
+            return
+        for event in self.events:
+            event.add_callback(self._child_triggered)
+
+    def _child_triggered(self, event: ProcessEvent) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev.value for ev in self.events])

@@ -1,0 +1,215 @@
+"""Queueing resources for simulation processes.
+
+Three classic primitives:
+
+* :class:`Store` — an unbounded (or bounded) FIFO of Python objects,
+  with both a process-friendly ``get()`` event API and a fast
+  callback API (``put_nowait`` / ``pop_nowait``) for hot paths.
+* :class:`Resource` — a counted semaphore (e.g. a pool of workers).
+* :class:`Container` — a continuous level (e.g. tokens, bytes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import ProcessError
+from repro.sim.core import Simulator
+from repro.sim.processes import ProcessEvent
+
+__all__ = ["Container", "Resource", "Store"]
+
+
+class Store:
+    """A FIFO store of arbitrary items.
+
+    ``capacity`` bounds the number of items held; ``put`` on a full
+    store blocks the putting process until space is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ProcessError("Store capacity must be positive or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[ProcessEvent] = deque()
+        self._putters: Deque[ProcessEvent] = deque()
+        self._put_values: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a further ``put_nowait`` would be rejected."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    # -- fast, non-blocking API ----------------------------------------
+    def put_nowait(self, item: Any) -> bool:
+        """Insert *item* if there is room; return whether it was taken.
+
+        If a process is blocked on ``get()``, the item is handed to it
+        directly without touching the queue.
+        """
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return True
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        return True
+
+    def pop_nowait(self) -> Any:
+        """Remove and return the oldest item; ``None`` if empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_waiting_putter()
+        return item
+
+    def _admit_waiting_putter(self) -> None:
+        while self._putters:
+            putter = self._putters.popleft()
+            value = self._put_values.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(value)
+            putter.succeed(value)
+            return
+
+    # -- blocking (process) API ----------------------------------------
+    def get(self) -> ProcessEvent:
+        """Event that fires with the next item (FIFO among getters)."""
+        event = ProcessEvent(self.sim)
+        if self.items:
+            item = self.items.popleft()
+            self._admit_waiting_putter()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def put(self, item: Any) -> ProcessEvent:
+        """Event that fires once *item* has been accepted."""
+        event = ProcessEvent(self.sim)
+        if self.put_nowait(item):
+            event.succeed(item)
+        else:
+            self._putters.append(event)
+            self._put_values.append(item)
+        return event
+
+
+class Resource:
+    """A counted resource with FIFO acquisition.
+
+    ``request()`` returns an event that fires when one unit has been
+    granted; ``release()`` returns it.  The classic worker-pool shape::
+
+        def job(sim, pool):
+            yield pool.request()
+            try:
+                yield Timeout(sim, us(25))
+            finally:
+                pool.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity <= 0:
+            raise ProcessError("Resource capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[ProcessEvent] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self.in_use
+
+    def request(self) -> ProcessEvent:
+        """Event granting one unit of the resource."""
+        event = ProcessEvent(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise ProcessError("release() without matching request()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+        self.in_use -= 1
+
+
+class Container:
+    """A continuous level between 0 and ``capacity``.
+
+    Models fluid quantities (tokens, bytes of buffer).  ``get`` blocks
+    until the requested amount is present; ``put`` blocks until it fits.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ProcessError("Container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ProcessError("initial level must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = init
+        self._getters: Deque[ProcessEvent] = deque()
+        self._get_amounts: Deque[float] = deque()
+        self._putters: Deque[ProcessEvent] = deque()
+        self._put_amounts: Deque[float] = deque()
+
+    def get(self, amount: float) -> ProcessEvent:
+        """Event that fires once *amount* has been withdrawn."""
+        if amount <= 0:
+            raise ProcessError("get amount must be positive")
+        event = ProcessEvent(self.sim)
+        self._getters.append(event)
+        self._get_amounts.append(amount)
+        self._settle()
+        return event
+
+    def put(self, amount: float) -> ProcessEvent:
+        """Event that fires once *amount* has been deposited."""
+        if amount <= 0:
+            raise ProcessError("put amount must be positive")
+        if amount > self.capacity:
+            raise ProcessError("put amount exceeds container capacity")
+        event = ProcessEvent(self.sim)
+        self._putters.append(event)
+        self._put_amounts.append(amount)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and self.level + self._put_amounts[0] <= self.capacity:
+                putter = self._putters.popleft()
+                amount = self._put_amounts.popleft()
+                if not putter.triggered:
+                    self.level += amount
+                    putter.succeed(amount)
+                progressed = True
+            if self._getters and self.level >= self._get_amounts[0]:
+                getter = self._getters.popleft()
+                amount = self._get_amounts.popleft()
+                if not getter.triggered:
+                    self.level -= amount
+                    getter.succeed(amount)
+                progressed = True

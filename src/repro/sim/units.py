@@ -1,0 +1,53 @@
+"""Time-unit helpers.
+
+The whole library measures simulated time in **integer nanoseconds**.
+Integers keep the event queue exact (no floating-point tie ambiguity)
+and are cheap to compare.  These helpers convert human-friendly values
+into that representation and back.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond, the base unit of simulated time.
+NANOS = 1
+#: Nanoseconds per microsecond.
+MICROS = 1_000
+#: Nanoseconds per millisecond.
+MILLIS = 1_000_000
+#: Nanoseconds per second.
+SECONDS = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert *value* nanoseconds to integer nanoseconds."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Convert *value* microseconds to integer nanoseconds."""
+    return int(round(value * MICROS))
+
+
+def ms(value: float) -> int:
+    """Convert *value* milliseconds to integer nanoseconds."""
+    return int(round(value * MILLIS))
+
+
+def sec(value: float) -> int:
+    """Convert *value* seconds to integer nanoseconds."""
+    return int(round(value * SECONDS))
+
+
+def to_us(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return value_ns / MICROS
+
+
+def to_ms(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return value_ns / MILLIS
+
+
+def to_sec(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) seconds."""
+    return value_ns / SECONDS

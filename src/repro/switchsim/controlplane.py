@@ -1,0 +1,47 @@
+"""Switch control plane.
+
+Control-plane operations (installing table entries, removing a failed
+server) run on the switch CPU over a slow channel — §3.8 points out
+they have *limited update throughput* compared to data-plane register
+writes.  The model applies each operation after a configurable latency
+and rate-limits them, so experiments that lean on the control plane
+(server failure handling, §3.6) pay a realistic cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.core import Simulator
+from repro.sim.units import ms
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """Serialised, delayed application of control operations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        op_latency_ns: int = ms(1),
+        ops_per_second: float = 10_000.0,
+    ):
+        self.sim = sim
+        self.op_latency_ns = op_latency_ns
+        self.min_gap_ns = int(1e9 / ops_per_second) if ops_per_second > 0 else 0
+        self._free_at = 0
+        self.ops_applied = 0
+
+    def submit(self, operation: Callable[..., Any], *args: Any) -> int:
+        """Queue ``operation(*args)``; returns the time it will apply."""
+        now = self.sim.now
+        start = self._free_at if self._free_at > now else now
+        apply_at = start + self.op_latency_ns
+        self._free_at = start + self.min_gap_ns
+        self.sim.at(apply_at, self._apply, operation, args)
+        return apply_at
+
+    def _apply(self, operation: Callable[..., Any], args: tuple) -> None:
+        operation(*args)
+        self.ops_applied += 1

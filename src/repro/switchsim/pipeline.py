@@ -1,0 +1,176 @@
+"""Feed-forward match-action pipeline.
+
+A PISA pipeline is a fixed sequence of stages; a packet traverses them
+strictly in order, once per pass, at line rate.  The model enforces
+that order at runtime through :class:`PassContext`:
+
+* programs must *enter* a stage before touching its tables/registers,
+  and may never re-enter an earlier stage within the same pass;
+* register accesses additionally go through the per-pass token check
+  in :class:`~repro.switchsim.registers.RegisterArray`.
+
+The outcome of a pass is a :class:`PipelineAction`: forward (via L3
+route or an explicit port), drop, plus any number of copies to
+recirculate or mirror — the two cloning primitives §3.4 discusses
+(NetClone uses multicast + recirculation).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import PipelineConfigError, StageAccessError
+from repro.switchsim.hashing import HashUnit
+from repro.switchsim.registers import RegisterArray
+from repro.switchsim.tables import MatchActionTable
+
+__all__ = ["PassContext", "Pipeline", "PipelineAction", "Stage"]
+
+_pass_tokens = count(1)
+
+
+class PipelineAction:
+    """What the pipeline decided to do with a packet."""
+
+    __slots__ = ("drop", "egress_port", "recirculate", "mirrors")
+
+    def __init__(self) -> None:
+        #: Drop the packet (no forwarding at all).
+        self.drop = False
+        #: Explicit egress port; ``None`` means "use the L3 route".
+        self.egress_port: Optional[int] = None
+        #: Packet copies to send around through a loopback port.
+        self.recirculate: List[Any] = []
+        #: Packet copies to emit directly, as ``(packet, port)`` pairs.
+        self.mirrors: List[Tuple[Any, Optional[int]]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.drop:
+            return "<PipelineAction drop>"
+        return (
+            f"<PipelineAction egress={self.egress_port} "
+            f"recirc={len(self.recirculate)} mirrors={len(self.mirrors)}>"
+        )
+
+
+class Stage:
+    """One match-action stage: a home for tables, registers and hashes."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.tables: List[MatchActionTable] = []
+        self.registers: List[RegisterArray] = []
+        self.hash_units: List[HashUnit] = []
+
+
+class PassContext:
+    """Tracks a single packet's trip through the pipeline.
+
+    All stateful access happens through this object so that stage
+    ordering and the one-access-per-pass register rule are enforced.
+    """
+
+    __slots__ = ("pipeline", "token", "stage")
+
+    def __init__(self, pipeline: "Pipeline"):
+        self.pipeline = pipeline
+        self.token = next(_pass_tokens)
+        self.stage = -1
+
+    def enter_stage(self, index: int) -> None:
+        """Advance to stage *index*; going backwards is impossible."""
+        if index < self.stage:
+            raise StageAccessError(
+                f"pipeline is feed-forward: cannot enter stage {index} "
+                f"after stage {self.stage}"
+            )
+        if index >= self.pipeline.num_stages:
+            raise StageAccessError(
+                f"stage {index} out of range (pipeline has {self.pipeline.num_stages})"
+            )
+        self.stage = index
+
+    # -- convenience wrappers -------------------------------------------
+    def reg(
+        self,
+        register: RegisterArray,
+        index: int,
+        update: Optional[Callable[[int], int]] = None,
+    ) -> Tuple[int, int]:
+        """Enter the register's stage and perform its single access."""
+        self.enter_stage(register.stage)
+        return register.access(index, stage=self.stage, pass_token=self.token, update=update)
+
+    def table(self, table: MatchActionTable, key: int) -> Any:
+        """Enter the table's stage and look *key* up."""
+        self.enter_stage(table.stage)
+        return table.lookup(key, stage=self.stage)
+
+    def hash(self, unit: HashUnit, value: int) -> int:
+        """Enter the hash unit's stage and hash *value*."""
+        self.enter_stage(unit.stage)
+        return unit.index(value)
+
+
+class Pipeline:
+    """A fixed array of stages plus the objects allocated to them."""
+
+    #: Stage count of a Tofino-class ingress pipeline.
+    DEFAULT_NUM_STAGES = 12
+
+    def __init__(self, num_stages: int = DEFAULT_NUM_STAGES):
+        if num_stages <= 0:
+            raise PipelineConfigError("pipeline needs at least one stage")
+        self.num_stages = num_stages
+        self.stages = [Stage(i) for i in range(num_stages)]
+
+    # -- compile-time allocation ----------------------------------------
+    def _stage_for(self, obj_stage: int, what: str, name: str) -> Stage:
+        if not 0 <= obj_stage < self.num_stages:
+            raise PipelineConfigError(
+                f"{what} {name!r} wants stage {obj_stage}, "
+                f"pipeline has stages 0..{self.num_stages - 1}"
+            )
+        return self.stages[obj_stage]
+
+    def place_register(self, register: RegisterArray) -> RegisterArray:
+        """Allocate *register* to its stage (compile-time placement)."""
+        self._stage_for(register.stage, "register", register.name).registers.append(register)
+        return register
+
+    def place_table(self, table: MatchActionTable) -> MatchActionTable:
+        """Allocate *table* to its stage."""
+        self._stage_for(table.stage, "table", table.name).tables.append(table)
+        return table
+
+    def place_hash(self, unit: HashUnit) -> HashUnit:
+        """Allocate *unit* to its stage."""
+        self._stage_for(unit.stage, "hash unit", unit.name).hash_units.append(unit)
+        return unit
+
+    # -- run-time --------------------------------------------------------
+    def new_pass(self) -> PassContext:
+        """Begin one packet's traversal."""
+        return PassContext(self)
+
+    @property
+    def stages_used(self) -> int:
+        """Highest occupied stage + 1 (the paper reports 7 for NetClone)."""
+        used = 0
+        for stage in self.stages:
+            if stage.tables or stage.registers or stage.hash_units:
+                used = stage.index + 1
+        return used
+
+    def all_registers(self) -> List[RegisterArray]:
+        """Every placed register array."""
+        return [reg for stage in self.stages for reg in stage.registers]
+
+    def all_tables(self) -> List[MatchActionTable]:
+        """Every placed match-action table."""
+        return [table for stage in self.stages for table in stage.tables]
+
+    def all_hash_units(self) -> List[HashUnit]:
+        """Every placed hash unit."""
+        return [unit for stage in self.stages for unit in stage.hash_units]

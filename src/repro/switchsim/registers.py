@@ -1,0 +1,112 @@
+"""Stage-pinned register arrays.
+
+On a PISA ASIC each register array lives in the SRAM of exactly one
+match-action stage, chosen at compile time, and a packet can perform at
+most **one** stateful ALU operation on it per pipeline pass.  Reading
+the server-state array twice for two candidate servers is therefore
+impossible — the reason NetClone keeps a *shadow* copy in a later
+stage (§3.4).
+
+:class:`RegisterArray` enforces both constraints at runtime:
+
+* construction binds the array to a stage index; access from any other
+  stage raises :class:`~repro.errors.StageAccessError`;
+* the pipeline stamps each pass with a token; a second access under
+  the same token raises too.
+
+A read-modify-write made through :meth:`access` counts as the single
+allowed operation, matching the hardware's stateful ALU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import StageAccessError
+
+__all__ = ["RegisterArray"]
+
+
+class RegisterArray:
+    """A fixed-size array of integer cells bound to one pipeline stage."""
+
+    def __init__(self, name: str, size: int, stage: int, width_bits: int = 32, initial: int = 0):
+        if size <= 0:
+            raise StageAccessError(f"register array {name!r} needs positive size")
+        if stage < 0:
+            raise StageAccessError(f"register array {name!r} needs a valid stage")
+        if width_bits not in (1, 8, 16, 32, 64):
+            raise StageAccessError(f"unsupported register width {width_bits}")
+        self.name = name
+        self.size = size
+        self.stage = stage
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self.cells: List[int] = [initial & self._mask] * size
+        self._last_pass_token: Optional[int] = None
+        self.access_count = 0
+
+    # ------------------------------------------------------------------
+    def _check(self, index: int, stage: int, pass_token: Optional[int]) -> None:
+        if not 0 <= index < self.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {self.name!r} (size {self.size})"
+            )
+        if stage != self.stage:
+            raise StageAccessError(
+                f"register {self.name!r} is allocated to stage {self.stage}, "
+                f"accessed from stage {stage}"
+            )
+        if pass_token is not None and pass_token == self._last_pass_token:
+            raise StageAccessError(
+                f"register {self.name!r} accessed twice in one pipeline pass"
+            )
+        self._last_pass_token = pass_token
+        self.access_count += 1
+
+    def access(
+        self,
+        index: int,
+        stage: int,
+        pass_token: Optional[int],
+        update: Optional[Callable[[int], int]] = None,
+    ) -> Tuple[int, int]:
+        """The single stateful operation of a pass on this array.
+
+        Reads cell *index*; if *update* is given the cell is rewritten
+        with ``update(old)`` in the same operation (read-modify-write).
+        Returns ``(old_value, new_value)``.
+        """
+        self._check(index, stage, pass_token)
+        old = self.cells[index]
+        new = old
+        if update is not None:
+            new = update(old) & self._mask
+            self.cells[index] = new
+        return old, new
+
+    # -- control-plane access (no pass/stage constraints) ---------------
+    def peek(self, index: int) -> int:
+        """Control-plane read, exempt from data-plane constraints."""
+        return self.cells[index]
+
+    def poke(self, index: int, value: int) -> None:
+        """Control-plane write, exempt from data-plane constraints."""
+        self.cells[index] = value & self._mask
+
+    def clear(self, value: int = 0) -> None:
+        """Control-plane reset of every cell (e.g. after power cycle)."""
+        masked = value & self._mask
+        for i in range(self.size):
+            self.cells[i] = masked
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM footprint of this array in bytes."""
+        return self.size * self.width_bits // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RegisterArray {self.name} size={self.size} stage={self.stage} "
+            f"width={self.width_bits}b>"
+        )

@@ -1,0 +1,85 @@
+"""ASIC resource accounting.
+
+Section 4.1 of the paper reports the NetClone prototype's footprint on
+a 6.5 Tbps Tofino: 7 match-action stages, 18.04 % SRAM, 12.28 % match
+input crossbar, 26.79 % hash units, 21.43 % ALUs, and — for the filter
+tables specifically — 2 tables x 2^17 slots x 32 bits ~= 1.05 MB, which
+the paper calls 4.77 % of switch memory (implying a ~22 MB SRAM
+budget, consistent with the "10-20 MB" figure in §2.3).
+
+:class:`ResourceModel` recomputes these numbers from an actual
+pipeline, so the `table_resources` experiment can print the same rows
+as §4.1 and tests can assert the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.switchsim.pipeline import Pipeline
+
+__all__ = ["ResourceModel", "ResourceReport", "TOFINO_SRAM_BYTES"]
+
+#: SRAM budget implied by §4.1's "1.05 MB is 4.77 % of switch memory".
+TOFINO_SRAM_BYTES = 22 * 1024 * 1024
+
+#: Back-of-the-envelope capacity constants from §4.1.
+_PAPER_AVG_LATENCY_US = 50
+_KRPS_PER_SLOT = 20
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Computed resource usage of one compiled program."""
+
+    stages_used: int
+    register_sram_bytes: int
+    register_cells: int
+    table_entries: int
+    hash_units: int
+    sram_fraction: float
+    supported_throughput_rps: float
+
+    def rows(self) -> List[str]:
+        """Formatted rows mirroring the §4.1 narrative."""
+        megabytes = self.register_sram_bytes / (1024 * 1024)
+        return [
+            f"match-action stages used: {self.stages_used}",
+            f"register SRAM: {megabytes:.2f} MB "
+            f"({self.sram_fraction * 100:.2f}% of switch memory)",
+            f"register cells: {self.register_cells}",
+            f"match-action table entries: {self.table_entries}",
+            f"hash units: {self.hash_units}",
+            f"supported throughput (20 KRPS/slot rule): "
+            f"{self.supported_throughput_rps / 1e9:.2f} BRPS",
+        ]
+
+
+class ResourceModel:
+    """Accounts a pipeline's usage against the ASIC budget."""
+
+    def __init__(self, sram_budget_bytes: int = TOFINO_SRAM_BYTES):
+        self.sram_budget_bytes = sram_budget_bytes
+
+    def report(self, pipeline: Pipeline, filter_slots: int = 0) -> ResourceReport:
+        """Account *pipeline*; ``filter_slots`` sizes the throughput rule.
+
+        The paper's back-of-the-envelope: with 50 us average request
+        latency each filter slot turns over 20 K times per second, so
+        2^18 total slots support ~5.24 BRPS.
+        """
+        registers = pipeline.all_registers()
+        sram = sum(reg.sram_bytes for reg in registers)
+        cells = sum(reg.size for reg in registers)
+        entries = sum(len(table) for table in pipeline.all_tables())
+        supported = float(filter_slots) * _KRPS_PER_SLOT * 1e3
+        return ResourceReport(
+            stages_used=pipeline.stages_used,
+            register_sram_bytes=sram,
+            register_cells=cells,
+            table_entries=entries,
+            hash_units=len(pipeline.all_hash_units()),
+            sram_fraction=sram / self.sram_budget_bytes,
+            supported_throughput_rps=supported,
+        )

@@ -1,0 +1,206 @@
+"""The programmable ToR switch.
+
+:class:`ProgrammableSwitch` owns ports (links to hosts), a plain
+L2/L3 routing function, and at most one installed
+:class:`SwitchProgram` — the custom data-plane logic compiled into the
+pipeline.  Packets the program does not claim are forwarded by routing
+alone, which is how NetClone coexists with normal traffic (§3.2).
+
+Timing model:
+
+* ``pipeline_latency_ns`` per pass (the paper: "hundreds of
+  nanoseconds");
+* ``recirc_latency_ns`` extra for a loop through a port in loopback
+  mode (§3.4's recirculation);
+* egress serialisation is handled by the outgoing
+  :class:`~repro.net.link.Link`.
+
+Failure model (§5.6.4): :meth:`fail` makes the switch drop everything;
+:meth:`recover` brings it back after a re-initialisation delay, with
+**all register state cleared** — NetClone must survive on soft state
+alone, which the Figure 16 experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import PortError, SwitchError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter
+from repro.switchsim.pipeline import PassContext, Pipeline, PipelineAction
+
+__all__ = ["ProgrammableSwitch", "SwitchProgram"]
+
+
+class SwitchProgram:
+    """Base class for custom data-plane programs."""
+
+    #: The pipeline this program was compiled into.
+    pipeline: Pipeline
+
+    def matches(self, packet: Packet) -> bool:
+        """Whether *packet* should be processed by this program."""
+        raise NotImplementedError
+
+    def apply(self, packet: Packet, ctx: PassContext, switch: "ProgrammableSwitch") -> PipelineAction:
+        """Process one pipeline pass of *packet*."""
+        raise NotImplementedError
+
+    def on_register_wipe(self) -> None:
+        """Hook invoked when the switch loses state (power cycle)."""
+
+
+class ProgrammableSwitch:
+    """A single-pipeline programmable switch with recirculation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "tor",
+        pipeline_latency_ns: int = 400,
+        recirc_latency_ns: int = 700,
+        num_ports: int = 64,
+    ):
+        if num_ports <= 0:
+            raise PortError("switch needs at least one port")
+        self.sim = sim
+        self.name = name
+        self.pipeline_latency_ns = pipeline_latency_ns
+        self.recirc_latency_ns = recirc_latency_ns
+        self.num_ports = num_ports
+        self.ports: Dict[int, Link] = {}
+        self.routes: Dict[int, int] = {}
+        self.program: Optional[SwitchProgram] = None
+        self.counters = Counter()
+        self.down = False
+
+    # ------------------------------------------------------------------
+    # Wiring (used by StarTopology)
+    # ------------------------------------------------------------------
+    def connect(self, port: int, link: Link) -> None:
+        """Attach *link* to *port*."""
+        if not 0 <= port < self.num_ports:
+            raise PortError(f"port {port} out of range (0..{self.num_ports - 1})")
+        if port in self.ports:
+            raise PortError(f"port {port} already connected")
+        self.ports[port] = link
+
+    def install_route(self, ip: int, port: int) -> None:
+        """Map destination *ip* to egress *port* (L3 route)."""
+        if port not in self.ports:
+            raise PortError(f"cannot route to unconnected port {port}")
+        self.routes[ip] = port
+
+    def remove_route(self, ip: int) -> None:
+        """Remove the route for *ip* (e.g. failed server)."""
+        self.routes.pop(ip, None)
+
+    def install_program(self, program: SwitchProgram) -> None:
+        """Load *program* into the data plane."""
+        if self.program is not None:
+            raise SwitchError(f"{self.name} already has a program installed")
+        self.program = program
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def deliver(self, packet: Packet, link: Link) -> None:
+        """Entry point for packets arriving from a link."""
+        if self.down:
+            self.counters.incr("rx_dropped_down")
+            return
+        port = self._port_of_link(link)
+        packet.ingress_port = port
+        packet.recirculated = False
+        self.counters.incr("rx")
+        self.sim.schedule(self.pipeline_latency_ns, self._run_pass, packet)
+
+    def _port_of_link(self, link: Link) -> int:
+        for port, candidate in self.ports.items():
+            if candidate is link:
+                return port
+        raise PortError(f"{self.name}: packet arrived on unknown link {link.name}")
+
+    def _run_pass(self, packet: Packet) -> None:
+        if self.down:
+            self.counters.incr("dropped_down")
+            return
+        program = self.program
+        if program is not None and program.matches(packet):
+            ctx = program.pipeline.new_pass()
+            action = program.apply(packet, ctx, self)
+        else:
+            action = PipelineAction()
+        self._apply_action(packet, action)
+
+    def _apply_action(self, packet: Packet, action: PipelineAction) -> None:
+        for copy, port in action.mirrors:
+            self.counters.incr("mirrored")
+            self._egress(copy, port)
+        for copy in action.recirculate:
+            self.counters.incr("recirculated")
+            self.sim.schedule(
+                self.recirc_latency_ns + self.pipeline_latency_ns,
+                self._run_recirculated,
+                copy,
+            )
+        if action.drop:
+            self.counters.incr("dropped_by_program")
+            return
+        self._egress(packet, action.egress_port)
+
+    def _run_recirculated(self, packet: Packet) -> None:
+        """A recirculated copy re-enters the pipeline as a fresh pass."""
+        if self.down:
+            self.counters.incr("dropped_down")
+            return
+        packet.recirculated = True
+        self._run_pass(packet)
+
+    def _egress(self, packet: Packet, port: Optional[int]) -> None:
+        if port is None:
+            port = self.routes.get(packet.dst)
+        if port is None:
+            self.counters.incr("no_route")
+            return
+        link = self.ports.get(port)
+        if link is None:
+            self.counters.incr("no_route")
+            return
+        self.counters.incr("tx")
+        link.send(packet, self)
+
+    # ------------------------------------------------------------------
+    # Failure handling (§5.6.4)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Power the switch off: all traffic is dropped."""
+        self.down = True
+        self.counters.incr("failures")
+
+    def recover(self, reinit_delay_ns: int = 0) -> None:
+        """Power the switch back on.
+
+        All pipeline register state is **wiped** (soft state only);
+        forwarding resumes after ``reinit_delay_ns`` of port/ASIC
+        re-initialisation.
+        """
+        program = self.program
+        if program is not None:
+            for register in program.pipeline.all_registers():
+                register.clear()
+            program.on_register_wipe()
+        if reinit_delay_ns <= 0:
+            self.down = False
+        else:
+            self.sim.schedule(reinit_delay_ns, self._finish_recovery)
+
+    def _finish_recovery(self) -> None:
+        self.down = False
+        self.counters.incr("recoveries")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProgrammableSwitch {self.name} ports={len(self.ports)}>"

@@ -1,0 +1,28 @@
+"""Workload generation: service-time distributions, jitter, Zipf, KV mixes."""
+
+from repro.workloads.distributions import (
+    BimodalDistribution,
+    ExponentialDistribution,
+    FixedDistribution,
+    JitterModel,
+    LognormalDistribution,
+    ServiceDistribution,
+)
+from repro.workloads.kv import KvOp, KvRequest, KvWorkload
+from repro.workloads.synthetic import RpcRequest, SyntheticWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "BimodalDistribution",
+    "ExponentialDistribution",
+    "FixedDistribution",
+    "JitterModel",
+    "KvOp",
+    "KvRequest",
+    "KvWorkload",
+    "LognormalDistribution",
+    "RpcRequest",
+    "ServiceDistribution",
+    "SyntheticWorkload",
+    "ZipfGenerator",
+]

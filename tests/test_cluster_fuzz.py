@@ -1,0 +1,77 @@
+"""Property fuzz over whole-cluster configurations.
+
+Hypothesis drives random (scheme, topology, load) combinations through
+short end-to-end runs and checks the global invariants that must hold
+for *every* configuration: request conservation at servers, no
+duplicate deliveries with filtering on, drained queues, and recorder
+sanity.  Catches interaction bugs no targeted unit test would.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import Cluster, ClusterConfig
+from repro.sim.units import ms
+
+SCHEMES = (
+    "baseline",
+    "cclone",
+    "netclone",
+    "netclone-nofilter",
+    "racksched",
+    "netclone-racksched",
+)
+
+
+@given(
+    scheme=st.sampled_from(SCHEMES),
+    num_servers=st.integers(min_value=2, max_value=4),
+    workers=st.integers(min_value=2, max_value=8),
+    load_fraction=st.floats(min_value=0.05, max_value=0.8),
+    seed=st.integers(min_value=1, max_value=10_000),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_cluster_invariants(scheme, num_servers, workers, load_fraction, seed):
+    capacity = num_servers * workers / 25e-6
+    config = ClusterConfig(
+        scheme=scheme,
+        num_servers=num_servers,
+        workers_per_server=workers,
+        rate_rps=max(10_000.0, capacity * load_fraction),
+        warmup_ns=ms(1),
+        measure_ns=ms(4),
+        drain_ns=ms(4),
+        seed=seed,
+    )
+    cluster = Cluster(config)
+    cluster.start()
+    cluster.run()
+    point = cluster.load_point()
+
+    # Conservation: every accepted request was answered; nothing stuck.
+    for server in cluster.servers:
+        assert server.counters.get("requests_accepted") == server.counters.get(
+            "responses_sent"
+        )
+        assert server.queue_len == 0
+        assert server.busy_workers == 0
+
+    # Recorder sanity.
+    recorder = cluster.recorder
+    assert recorder.completed_in_window <= recorder.sent_in_window + len(
+        cluster.clients
+    ) * 10_000  # completions of pre-window sends are possible but bounded
+    if recorder.latencies_ns:
+        assert min(recorder.latencies_ns) > 0
+        assert point.p50_us <= point.p99_us <= point.p999_us
+
+    # Exactly-once delivery whenever in-network filtering is active.
+    redundant = sum(client.redundant_responses for client in cluster.clients)
+    if scheme in ("baseline", "netclone", "racksched", "netclone-racksched"):
+        assert redundant == 0

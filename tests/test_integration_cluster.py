@@ -1,0 +1,197 @@
+"""End-to-end integration tests across the whole stack.
+
+These run small but complete clusters — clients, programmable switch
+with the NetClone program, worker servers — and assert system-level
+invariants from DESIGN.md: exactly-one-response delivery, conservation,
+cloning/filtering bookkeeping, failure resilience.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import Cluster, ClusterConfig, run_point
+from repro.experiments.specs import KvSpec, make_synthetic_spec
+from repro.sim.units import ms, sec, us
+
+
+def quick_config(**kwargs):
+    defaults = dict(
+        scheme="netclone",
+        rate_rps=0.4e6,
+        warmup_ns=ms(2),
+        measure_ns=ms(6),
+        drain_ns=ms(3),
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def run_cluster(**kwargs):
+    cluster = Cluster(quick_config(**kwargs))
+    cluster.start()
+    cluster.run()
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# NetClone end-to-end invariants
+# ----------------------------------------------------------------------
+def test_netclone_exactly_one_response_per_request():
+    cluster = run_cluster()
+    for client in cluster.clients:
+        assert client.redundant_responses == 0
+    assert cluster.recorder.completed_in_window > 0
+
+
+def test_netclone_cloning_and_filtering_bookkeeping():
+    """Every completed clone pair costs exactly one filtered response."""
+    cluster = run_cluster()
+    counters = cluster.switch.counters
+    cloned = counters.get("nc_cloned")
+    filtered = counters.get("nc_filtered")
+    dropped_at_server = sum(
+        server.counters.get("clones_dropped") for server in cluster.servers
+    )
+    assert cloned > 0
+    # Each cloned request either had its slower response filtered or its
+    # clone dropped server-side (allow a few in flight at the horizon).
+    assert abs(cloned - (filtered + dropped_at_server)) <= 25
+
+
+def test_netclone_conservation_of_requests():
+    """Accepted - responded == 0 for every server after drain."""
+    cluster = run_cluster()
+    for server in cluster.servers:
+        accepted = server.counters.get("requests_accepted")
+        responded = server.counters.get("responses_sent")
+        assert accepted == responded
+        assert server.queue_len == 0
+        assert server.busy_workers == 0
+
+
+def test_netclone_switch_seq_matches_request_count():
+    cluster = run_cluster()
+    program = cluster.program
+    requests_sent = sum(client._seq for client in cluster.clients)
+    assert program.seq.peek(0) == requests_sent
+
+
+def test_netclone_latency_improves_on_baseline_at_low_load():
+    netclone = run_point(quick_config(scheme="netclone", rate_rps=0.4e6))
+    baseline = run_point(quick_config(scheme="baseline", rate_rps=0.4e6))
+    assert netclone.p99_us < baseline.p99_us
+    assert netclone.samples > 500
+
+
+def test_cclone_half_throughput_at_saturation():
+    capacity = 6 * 15 / 25e-6
+    cclone = run_point(quick_config(scheme="cclone", rate_rps=capacity))
+    baseline = run_point(quick_config(scheme="baseline", rate_rps=capacity))
+    assert cclone.throughput_rps < 0.62 * baseline.throughput_rps
+
+
+def test_cclone_redundant_responses_reach_client():
+    cluster = run_cluster(scheme="cclone")
+    redundant = sum(client.redundant_responses for client in cluster.clients)
+    assert redundant > 0  # no in-network filtering for C-Clone
+
+
+def test_nofilter_redundant_responses_reach_client():
+    cluster = run_cluster(scheme="netclone-nofilter")
+    redundant = sum(client.redundant_responses for client in cluster.clients)
+    cloned = cluster.switch.counters.get("nc_cloned")
+    dropped = sum(server.counters.get("clones_dropped") for server in cluster.servers)
+    assert redundant > 0
+    assert abs(redundant - (cloned - dropped)) <= 25
+
+
+def test_laedge_runs_and_clones_dynamically():
+    cluster = run_cluster(scheme="laedge", num_servers=5)
+    coordinator = cluster.coordinator
+    assert coordinator is not None
+    assert coordinator.counters.get("cloned") > 0
+    assert coordinator.counters.get("responses_forwarded") > 0
+    # Conservation: all forwarded responses reached clients.
+    completed = cluster.recorder.completed_in_window
+    assert completed > 0
+
+
+def test_laedge_queues_under_overload():
+    capacity = 5 * 15 / 25e-6
+    cluster = run_cluster(scheme="laedge", num_servers=5, rate_rps=capacity * 1.5)
+    assert cluster.coordinator.counters.get("queued") > 0
+
+
+def test_racksched_balances_heterogeneous_cluster():
+    config = dict(
+        workers_per_server=(15, 15, 15, 8, 8, 8),
+        rate_rps=2.0e6,
+    )
+    racksched = run_point(quick_config(scheme="netclone-racksched", **config))
+    plain = run_point(quick_config(scheme="netclone", **config))
+    # JSQ should not be worse; on an imbalanced cluster it usually wins.
+    assert racksched.p99_us <= plain.p99_us * 1.2
+    assert racksched.throughput_rps == pytest.approx(plain.throughput_rps, rel=0.1)
+
+
+def test_kv_workload_end_to_end():
+    spec = KvSpec(cost_model="redis", scan_fraction=0.01, num_keys=10_000)
+    capacity = 6 * 8 / (spec.mean_service_ns / 1e9)
+    point = run_point(
+        quick_config(
+            workload=spec,
+            workers_per_server=8,
+            rate_rps=capacity * 0.2,
+        )
+    )
+    assert point.samples > 200
+    assert point.p99_us == point.p99_us  # not NaN
+
+
+def test_bimodal_spec_end_to_end():
+    spec = make_synthetic_spec("bimodal")
+    point = run_point(quick_config(workload=spec, rate_rps=0.3e6))
+    assert point.samples > 200
+
+
+def test_switch_failure_recovery_no_duplicates():
+    """Figure 16's integrity claim: soft state only, no misbehaviour."""
+    config = quick_config(
+        rate_rps=50e3,
+        warmup_ns=0,
+        measure_ns=ms(40),
+        drain_ns=ms(5),
+    )
+    cluster = Cluster(config)
+    cluster.sim.at(ms(10), cluster.switch.fail)
+    cluster.sim.at(ms(14), cluster.switch.recover, ms(4))
+    cluster.start()
+    cluster.run()
+    # No duplicate deliveries despite the register wipe.
+    assert sum(client.redundant_responses for client in cluster.clients) == 0
+    # Traffic resumed: completions exist after the recovery instant.
+    assert cluster.recorder.completed_in_window > 0
+    monitorable = cluster.switch.counters
+    assert monitorable.get("rx_dropped_down") > 0  # outage really dropped
+
+
+def test_seed_determinism():
+    a = run_point(quick_config(seed=11))
+    b = run_point(quick_config(seed=11))
+    c = run_point(quick_config(seed=12))
+    assert a.p99_us == b.p99_us
+    assert a.samples == b.samples
+    # Different seed gives a different (but close) measurement.
+    assert a.latencies_differ_from(c) if hasattr(a, "latencies_differ_from") else True
+
+
+def test_scheme_validation():
+    with pytest.raises(Exception):
+        ClusterConfig(scheme="carrier-pigeon")
+
+
+def test_worker_counts_validation():
+    with pytest.raises(Exception):
+        quick_config(workers_per_server=(15, 15)).worker_counts()

@@ -1,0 +1,104 @@
+"""Tests for the key-value store substrate and cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KVStoreError
+from repro.kvstore import (
+    KeyValueStore,
+    KvCostModel,
+    MemcachedCostModel,
+    RedisCostModel,
+)
+from repro.workloads.kv import KvOp, KvRequest
+
+
+def test_store_get_returns_fixed_size_values():
+    store = KeyValueStore(num_keys=100)
+    value = store.get(5)
+    assert len(value) == KeyValueStore.VALUE_BYTES
+    assert store.get(5) == value  # deterministic
+
+
+def test_store_values_differ_by_key():
+    store = KeyValueStore(num_keys=100)
+    assert store.get(1) != store.get(2)
+
+
+def test_store_replicas_identical():
+    """Two replicas serve identical data — what makes cloning safe."""
+    a, b = KeyValueStore(1000), KeyValueStore(1000)
+    for key in (0, 17, 999):
+        assert a.get(key) == b.get(key)
+        assert a.value_checksum(key) == b.value_checksum(key)
+
+
+def test_store_scan_wraps_around_keyspace():
+    store = KeyValueStore(num_keys=10)
+    values = store.scan(8, 5)
+    assert len(values) == 5
+    assert values[0] == store.get(8)
+    assert values[2] == store.get(0)  # wrapped
+
+
+def test_store_set_overrides_and_counts():
+    store = KeyValueStore(num_keys=10)
+    new_value = b"\x07" * store.VALUE_BYTES
+    store.set(3, new_value)
+    assert store.get(3) == new_value
+    assert store.scan(3, 1) == [new_value]
+    assert store.sets == 1 and store.gets == 1 and store.scans == 1
+
+
+def test_store_validation():
+    with pytest.raises(KVStoreError):
+        KeyValueStore(0)
+    store = KeyValueStore(10)
+    with pytest.raises(KVStoreError):
+        store.get(10)
+    with pytest.raises(KVStoreError):
+        store.scan(0, 0)
+    with pytest.raises(KVStoreError):
+        store.set(1, b"short")
+
+
+@given(st.integers(min_value=0, max_value=999))
+@settings(max_examples=100, deadline=None)
+def test_property_store_values_fixed_width(key):
+    store = KeyValueStore(1000)
+    assert len(store.get(key)) == store.VALUE_BYTES
+
+
+# ----------------------------------------------------------------------
+# Cost models
+# ----------------------------------------------------------------------
+def request(op, count=1):
+    return KvRequest(client_id=0, client_seq=1, op=op, key=0, count=count)
+
+
+def test_cost_models_scale_scan_with_count():
+    for model in (RedisCostModel(), MemcachedCostModel()):
+        small = model.service_ns(request(KvOp.SCAN, count=10))
+        large = model.service_ns(request(KvOp.SCAN, count=100))
+        assert large > small
+        assert model.service_ns(request(KvOp.GET)) < small
+
+
+def test_cost_models_calibration_anchor():
+    """GET ~50 us, SCAN(100) ~2.5 ms: the Figure 11/12 saturation points."""
+    redis = RedisCostModel()
+    get = redis.service_ns(request(KvOp.GET))
+    scan = redis.service_ns(request(KvOp.SCAN, count=100))
+    mean_99_1 = 0.99 * get + 0.01 * scan
+    mean_90_10 = 0.9 * get + 0.1 * scan
+    # 48 workers saturate at 48/mean: ~0.6 MRPS and ~0.15 MRPS.
+    assert 48 / (mean_99_1 / 1e9) == pytest.approx(0.64e6, rel=0.1)
+    assert 48 / (mean_90_10 / 1e9) == pytest.approx(0.16e6, rel=0.15)
+
+
+def test_cost_model_set_and_unknown():
+    model = KvCostModel(get_ns=1, scan_base_ns=2, scan_per_item_ns=3, set_ns=4)
+    assert model.service_ns(request(KvOp.SET)) == 4
+    with pytest.raises(KVStoreError):
+        KvCostModel(get_ns=-1, scan_base_ns=0, scan_per_item_ns=0, set_ns=0)

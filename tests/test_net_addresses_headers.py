@@ -1,0 +1,130 @@
+"""Tests for address helpers and byte-exact header codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, CodecError
+from repro.net import (
+    EthernetHeader,
+    IPv4Header,
+    UDPHeader,
+    format_ip,
+    format_mac,
+    ip_to_int,
+    mac_to_int,
+)
+from repro.net.headers import internet_checksum
+
+
+def test_ip_roundtrip_known_value():
+    assert ip_to_int("10.0.1.101") == (10 << 24) | (1 << 8) | 101
+    assert format_ip(ip_to_int("10.0.1.101")) == "10.0.1.101"
+
+
+@pytest.mark.parametrize("bad", ["10.0.1", "10.0.1.1.1", "256.0.0.1", "a.b.c.d", ""])
+def test_ip_malformed_rejected(bad):
+    with pytest.raises(AddressError):
+        ip_to_int(bad)
+
+
+def test_format_ip_range_check():
+    with pytest.raises(AddressError):
+        format_ip(-1)
+    with pytest.raises(AddressError):
+        format_ip(1 << 32)
+
+
+def test_mac_roundtrip():
+    text = "02:00:00:00:01:0a"
+    assert format_mac(mac_to_int(text)) == text
+
+
+@pytest.mark.parametrize("bad", ["02:00:00:00:01", "zz:00:00:00:01:0a", ""])
+def test_mac_malformed_rejected(bad):
+    with pytest.raises(AddressError):
+        mac_to_int(bad)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_ip_int_text_roundtrip(value):
+    assert ip_to_int(format_ip(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_mac_int_text_roundtrip(value):
+    assert mac_to_int(format_mac(value)) == value
+
+
+def test_ethernet_roundtrip():
+    header = EthernetHeader(dst_mac=mac_to_int("02:00:00:00:00:01"), src_mac=1)
+    wire = header.pack()
+    assert len(wire) == EthernetHeader.WIRE_SIZE
+    assert EthernetHeader.unpack(wire) == header
+
+
+def test_ethernet_short_buffer():
+    with pytest.raises(CodecError):
+        EthernetHeader.unpack(b"\x00" * 5)
+
+
+def test_ipv4_roundtrip_and_checksum():
+    header = IPv4Header(
+        src=ip_to_int("10.0.1.1"),
+        dst=ip_to_int("10.0.1.101"),
+        protocol=17,
+        total_length=128,
+        ttl=63,
+        identification=7,
+    )
+    wire = header.pack()
+    assert len(wire) == IPv4Header.WIRE_SIZE
+    assert internet_checksum(wire) == 0
+    assert IPv4Header.unpack(wire) == header
+
+
+def test_ipv4_corrupted_checksum_rejected():
+    wire = bytearray(
+        IPv4Header(src=1, dst=2, protocol=17, total_length=40).pack()
+    )
+    wire[8] ^= 0xFF
+    with pytest.raises(CodecError):
+        IPv4Header.unpack(bytes(wire))
+
+
+def test_ipv4_wrong_version_rejected():
+    wire = bytearray(IPv4Header(src=1, dst=2, protocol=17, total_length=40).pack())
+    wire[0] = (6 << 4) | 5
+    # Fix up the checksum for the mutated byte so the version check is hit.
+    wire[10:12] = b"\x00\x00"
+    body = bytes(wire)
+    checksum = internet_checksum(body)
+    wire[10:12] = checksum.to_bytes(2, "big")
+    with pytest.raises(CodecError):
+        IPv4Header.unpack(bytes(wire))
+
+
+def test_udp_roundtrip():
+    header = UDPHeader(sport=4000, dport=9000, length=64)
+    wire = header.pack()
+    assert len(wire) == UDPHeader.WIRE_SIZE
+    assert UDPHeader.unpack(wire) == header
+
+
+def test_udp_port_range_checked():
+    with pytest.raises(CodecError):
+        UDPHeader(sport=70000, dport=1, length=8).pack()
+
+
+@given(
+    src=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    dst=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    length=st.integers(min_value=20, max_value=65535),
+    ttl=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_ipv4_roundtrip(src, dst, length, ttl):
+    header = IPv4Header(src=src, dst=dst, protocol=17, total_length=length, ttl=ttl)
+    assert IPv4Header.unpack(header.pack()) == header

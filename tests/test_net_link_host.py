@@ -1,0 +1,210 @@
+"""Tests for links, NICs, hosts and the star topology."""
+
+import pytest
+
+from repro.errors import NetworkError, PortError
+from repro.net import Host, Link, Nic, Packet, StarTopology
+from repro.net.addresses import ip_to_int
+from repro.sim import Simulator
+
+
+class RecordingHost(Host):
+    """Host that records (time, packet) on receipt."""
+
+    def __init__(self, sim, name, ip, **kwargs):
+        super().__init__(sim, name, ip, **kwargs)
+        self.received = []
+
+    def handle(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def make_pair(sim, tx_cost=0, rx_cost=0, propagation=300, bandwidth=100e9):
+    a = RecordingHost(sim, "a", ip_to_int("10.0.0.1"), tx_cost_ns=tx_cost, rx_cost_ns=rx_cost)
+    b = RecordingHost(sim, "b", ip_to_int("10.0.0.2"), tx_cost_ns=tx_cost, rx_cost_ns=rx_cost)
+    link = Link(sim, a, b, propagation_ns=propagation, bandwidth_bps=bandwidth)
+    a.attach_link(link)
+    b.attach_link(link)
+    return a, b, link
+
+
+def packet_between(a, b, size=128):
+    return Packet(src=a.ip, dst=b.ip, sport=1, dport=2, size=size)
+
+
+def test_link_delivers_with_propagation_and_serialisation():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    a.send(packet_between(a, b, size=1250))  # 1250 B at 100 Gb/s = 100 ns
+    sim.run()
+    assert len(b.received) == 1
+    time, _ = b.received[0]
+    assert time == 100 + 300
+
+
+def test_link_serialisation_queues_back_to_back():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    a.send(packet_between(a, b, size=1250))
+    a.send(packet_between(a, b, size=1250))
+    sim.run()
+    times = [t for t, _ in b.received]
+    assert times == [400, 500]  # second waits for the first to serialise
+
+
+def test_link_directions_are_independent():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    a.send(packet_between(a, b, size=1250))
+    b.send(packet_between(b, a, size=1250))
+    sim.run()
+    assert [t for t, _ in a.received] == [400]
+    assert [t for t, _ in b.received] == [400]
+
+
+def test_link_down_drops_and_counts():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    link.down = True
+    a.send(packet_between(a, b))
+    sim.run()
+    assert b.received == []
+    assert link.drop_count == 1
+
+
+def test_link_rejects_foreign_endpoint():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    stranger = RecordingHost(sim, "c", ip_to_int("10.0.0.3"))
+    with pytest.raises(NetworkError):
+        link.send(packet_between(a, b), stranger)
+
+
+def test_link_validation():
+    sim = Simulator()
+    a = RecordingHost(sim, "a", 1)
+    b = RecordingHost(sim, "b", 2)
+    with pytest.raises(NetworkError):
+        Link(sim, a, b, propagation_ns=-1)
+    with pytest.raises(NetworkError):
+        Link(sim, a, b, bandwidth_bps=0)
+
+
+def test_nic_tx_serialises_sends():
+    sim = Simulator()
+    nic = Nic(sim, tx_cost_ns=700, rx_cost_ns=0)
+    emitted = []
+    nic.tx("p1", lambda p: emitted.append((sim.now, p)))
+    nic.tx("p2", lambda p: emitted.append((sim.now, p)))
+    sim.run()
+    assert emitted == [(700, "p1"), (1400, "p2")]
+
+
+def test_nic_rx_backlog_and_drop():
+    sim = Simulator()
+    nic = Nic(sim, tx_cost_ns=0, rx_cost_ns=100, rx_queue_limit=2)
+    handled = []
+    assert nic.rx("p1", handled.append)
+    assert nic.rx("p2", handled.append)  # backlog 1 packet: accepted
+    assert not nic.rx("p3", handled.append)  # backlog 2 packets: at limit
+    assert nic.rx_dropped == 1
+    sim.run()
+    assert handled == ["p1", "p2"]
+
+
+def test_nic_zero_cost_is_synchronous():
+    sim = Simulator()
+    nic = Nic(sim, tx_cost_ns=0, rx_cost_ns=0)
+    seen = []
+    nic.rx("p", seen.append)
+    assert seen == ["p"]
+
+
+def test_nic_validation():
+    sim = Simulator()
+    with pytest.raises(NetworkError):
+        Nic(sim, tx_cost_ns=-1)
+    with pytest.raises(NetworkError):
+        Nic(sim, rx_queue_limit=0)
+
+
+def test_host_stack_costs_add_to_latency():
+    sim = Simulator()
+    a, b, _ = make_pair(sim, tx_cost=700, rx_cost=700, propagation=300)
+    a.send(packet_between(a, b, size=125))  # 10 ns serialisation
+    sim.run()
+    time, _ = b.received[0]
+    assert time == 700 + 10 + 300 + 700
+
+
+def test_host_requires_link():
+    sim = Simulator()
+    host = RecordingHost(sim, "solo", 1)
+    with pytest.raises(NetworkError):
+        host.send(Packet(src=1, dst=2, sport=0, dport=0, size=64))
+
+
+def test_host_single_link_only():
+    sim = Simulator()
+    a, b, link = make_pair(sim)
+    with pytest.raises(NetworkError):
+        a.attach_link(link)
+
+
+class FakeSwitch:
+    """Minimal switch-like object for topology tests."""
+
+    def __init__(self):
+        self.name = "fake"
+        self.connections = {}
+        self.routes = {}
+
+    def connect(self, port, link):
+        self.connections[port] = link
+
+    def install_route(self, ip, port):
+        self.routes[ip] = port
+
+    def deliver(self, packet, link):
+        pass
+
+
+def test_star_topology_wires_ports_and_routes():
+    sim = Simulator()
+    switch = FakeSwitch()
+    topo = StarTopology(sim, switch)
+    hosts = [RecordingHost(sim, f"h{i}", topo.allocate_ip()) for i in range(3)]
+    ports = [topo.add_host(h) for h in hosts]
+    assert ports == [0, 1, 2]
+    assert switch.routes[hosts[0].ip] == 0
+    assert switch.routes[hosts[2].ip] == 2
+    assert topo.link_of(hosts[1]) is topo.links[1]
+    assert topo.port_of["h1"] == 1
+
+
+def test_star_topology_rejects_duplicates_and_unknown():
+    sim = Simulator()
+    topo = StarTopology(sim, FakeSwitch())
+    host = RecordingHost(sim, "h", topo.allocate_ip())
+    topo.add_host(host)
+    with pytest.raises(PortError):
+        topo.add_host(host)
+    with pytest.raises(PortError):
+        topo.link_of(RecordingHost(sim, "ghost", 99))
+
+
+def test_star_topology_allocates_distinct_ips():
+    sim = Simulator()
+    topo = StarTopology(sim, FakeSwitch())
+    ips = {topo.allocate_ip() for _ in range(10)}
+    assert len(ips) == 10
+
+
+def test_packet_copy_is_independent():
+    packet = Packet(src=1, dst=2, sport=3, dport=4, size=100, payload="shared")
+    packet.ingress_port = 7
+    clone = packet.copy()
+    assert clone.uid != packet.uid
+    assert clone.ingress_port == -1
+    assert clone.payload is packet.payload
+    assert clone.dst == packet.dst

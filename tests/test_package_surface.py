@@ -1,0 +1,60 @@
+"""Sanity checks on the public API surface and error hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.apps",
+    "repro.baselines",
+    "repro.core",
+    "repro.experiments",
+    "repro.kvstore",
+    "repro.metrics",
+    "repro.net",
+    "repro.sim",
+    "repro.switchsim",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports_and_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version_is_pep440ish():
+    assert repro.__version__.count(".") == 2
+    assert all(part.isdigit() for part in repro.__version__.split("."))
+
+
+def test_every_error_derives_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_error_hierarchy_specifics():
+    assert issubclass(errors.StageAccessError, errors.SwitchError)
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+    assert issubclass(errors.CodecError, errors.NetworkError)
+    # One except clause catches everything the library raises.
+    with pytest.raises(errors.ReproError):
+        raise errors.TableError("x")
+
+
+def test_top_level_quickstart_symbols():
+    assert repro.Simulator
+    assert repro.NetCloneProgram
+    assert repro.NetCloneClient
+    assert repro.RpcServer
+    assert repro.NetCloneHeader

@@ -1,0 +1,160 @@
+"""Tests for retransmission support under packet loss (§3.7)."""
+
+import random
+
+import pytest
+
+from repro.apps.service import SyntheticService
+from repro.core.multipacket import MultiPacketProgram, client_request_id
+from repro.core.reliability import ReliableNetCloneClient
+from repro.core.server import RpcServer
+from repro.errors import ExperimentError, NetworkError
+from repro.metrics.latency import LatencyRecorder
+from repro.net import Link, StarTopology
+from repro.sim import Simulator
+from repro.sim.units import ms, us
+from repro.switchsim import ProgrammableSwitch
+from repro.workloads import ExponentialDistribution, JitterModel, SyntheticWorkload
+
+
+def build_lossy_cluster(loss=0.05, rate=40e3, horizon=ms(30), max_attempts=6):
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim)
+    topo = StarTopology(sim, switch)
+    jitter = JitterModel(0.0, 15.0)
+    servers = []
+    for index in range(3):
+        server = RpcServer(
+            sim,
+            name=f"srv{index}",
+            ip=topo.allocate_ip(),
+            server_id=index,
+            service=SyntheticService(),
+            jitter=jitter,
+            rng=random.Random(index),
+            num_workers=4,
+        )
+        topo.add_host(server)
+        servers.append(server)
+    # Client-assigned request IDs require the extended program.
+    program = MultiPacketProgram([s.ip for s in servers])
+    switch.install_program(program)
+    recorder = LatencyRecorder(warmup_ns=0, end_ns=horizon)
+    client = ReliableNetCloneClient(
+        sim=sim,
+        name="client",
+        ip=topo.allocate_ip(),
+        client_id=0,
+        workload=SyntheticWorkload(ExponentialDistribution(20.0), random.Random(8)),
+        rate_rps=rate,
+        recorder=recorder,
+        rng=random.Random(9),
+        stop_at_ns=horizon,
+        num_groups=program.num_groups,
+        retransmit_timeout_ns=us(400),
+        max_attempts=max_attempts,
+    )
+    topo.add_host(client)
+    # Drop packets on every server uplink, both directions.
+    for server in servers:
+        link = topo.link_of(server)
+        link.loss_probability = loss
+        link._loss_rng = random.Random(1234)
+    return sim, switch, client, servers, recorder
+
+
+def test_lossless_run_has_no_retransmissions():
+    sim, switch, client, servers, recorder = build_lossy_cluster(loss=0.0)
+    client.start()
+    sim.run(until=ms(40))
+    assert client.retransmissions == 0
+    assert client.abandoned == 0
+    assert recorder.completed_in_window > 200
+
+
+def test_retransmissions_recover_lost_requests():
+    sim, switch, client, servers, recorder = build_lossy_cluster(loss=0.05)
+    client.start()
+    sim.run(until=ms(60))
+    sent = client._seq
+    completed = recorder.completed_in_window
+    assert client.retransmissions > 0
+    # With 6 attempts at 5% loss, effectively everything completes.
+    assert completed >= 0.995 * sent
+    assert client.outstanding == 0 or client.abandoned >= 0
+
+
+def test_retransmission_keeps_request_id_stable():
+    """The Lamport-style ID is identical across attempts (§3.7)."""
+    sim, switch, client, servers, recorder = build_lossy_cluster(loss=0.0)
+    request = client.workload.make_request(0, 1)
+    first = client._packet_for(request)
+    second = client._packet_for(request)
+    assert first.nc.req_id == second.nc.req_id
+    assert first.nc.req_id == client_request_id(0, 1)
+
+
+def test_heavy_loss_abandons_after_max_attempts():
+    sim, switch, client, servers, recorder = build_lossy_cluster(
+        loss=0.9, rate=5e3, horizon=ms(20), max_attempts=2
+    )
+    client.start()
+    sim.run(until=ms(60))
+    assert client.abandoned > 0
+    # Abandoned requests are not counted as completed.
+    assert recorder.completed_in_window < client._seq
+
+
+def test_reliable_client_validation():
+    sim, switch, client, servers, recorder = build_lossy_cluster()
+    with pytest.raises(ExperimentError):
+        ReliableNetCloneClient(
+            sim=sim,
+            name="bad",
+            ip=1,
+            client_id=0,
+            workload=None,
+            rate_rps=1.0,
+            recorder=recorder,
+            rng=random.Random(0),
+            num_groups=6,
+            retransmit_timeout_ns=0,
+        )
+    with pytest.raises(ExperimentError):
+        ReliableNetCloneClient(
+            sim=sim,
+            name="bad2",
+            ip=2,
+            client_id=0,
+            workload=None,
+            rate_rps=1.0,
+            recorder=recorder,
+            rng=random.Random(0),
+            num_groups=6,
+            max_attempts=0,
+        )
+
+
+def test_link_loss_validation_and_counting():
+    sim = Simulator()
+
+    class Sink:
+        name = "sink"
+
+        def deliver(self, packet, link):
+            pass
+
+    a, b = Sink(), Sink()
+    with pytest.raises(NetworkError):
+        Link(sim, a, b, loss_probability=1.0)
+    lossy = Link(sim, a, b, loss_probability=0.5, loss_rng=random.Random(7))
+
+    class P:
+        size = 100
+
+    drops = 0
+    for _ in range(200):
+        if lossy.send(P(), a) is None:
+            drops += 1
+    assert drops == lossy.drop_count
+    assert 60 < drops < 140

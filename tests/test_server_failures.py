@@ -1,0 +1,83 @@
+"""Tests for §3.6 server-failure handling via the control plane."""
+
+import pytest
+
+from repro.core.failures import ServerFailureHandler
+from repro.errors import ExperimentError
+from repro.experiments.common import Cluster, ClusterConfig
+from repro.sim.units import ms
+from repro.switchsim import ControlPlane
+
+
+def build(num_servers=4, rate=0.3e6):
+    config = ClusterConfig(
+        scheme="netclone",
+        num_servers=num_servers,
+        rate_rps=rate,
+        warmup_ns=0,
+        measure_ns=ms(30),
+        drain_ns=ms(5),
+        seed=6,
+    )
+    cluster = Cluster(config)
+    control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
+    handler = ServerFailureHandler(
+        cluster.program, control_plane, clients=cluster.clients
+    )
+    return cluster, handler
+
+
+def test_removal_rebuilds_tables_and_groups():
+    cluster, handler = build(num_servers=4)
+    program = cluster.program
+    assert program.num_groups == 12  # 4*3
+    handler.remove_server(2)
+    cluster.sim.run(until=ms(2))
+    assert program.num_groups == 6  # 3*2 survivors
+    assert handler.active_server_ids == [0, 1, 3]
+    # Every group now maps to surviving IDs only.
+    for pair in program.grp_table.entries().values():
+        assert 2 not in pair
+    # Clients learned the new group count.
+    for client in cluster.clients:
+        assert client.num_groups == 6
+    # The dead server's address is gone.
+    assert 2 not in program.addr_table
+
+
+def test_traffic_continues_after_removal():
+    cluster, handler = build(num_servers=4)
+    dead = cluster.servers[1]
+    # Kill the server brutally: its uplink swallows everything.
+    cluster.sim.at(ms(5), lambda: setattr(cluster.topology.link_of(dead), "down", True))
+    cluster.sim.at(ms(5), handler.remove_server, 1)
+    cluster.start()
+    cluster.run()
+    point = cluster.load_point()
+    # Some requests were lost in the window between failure and the
+    # control-plane update, but the system kept serving afterwards.
+    sent = cluster.recorder.sent_in_window
+    assert point.samples > 0.9 * sent * (ms(30) - ms(6)) / ms(30)
+    # The dead server stopped receiving after the update applied.
+    accepted_before = dead.counters.get("requests_accepted")
+    assert accepted_before < sent
+
+
+def test_cannot_remove_unknown_or_below_pair():
+    cluster, handler = build(num_servers=3)
+    with pytest.raises(ExperimentError):
+        handler.remove_server(9)
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    with pytest.raises(ExperimentError):
+        handler.remove_server(1)  # would leave a single server
+
+
+def test_removal_applies_after_control_plane_latency():
+    cluster, handler = build(num_servers=4)
+    apply_at = handler.remove_server(3)
+    assert apply_at >= ms(1)  # the slow path is really slow
+    # Before the op lands the data plane still has the old tables.
+    assert cluster.program.num_groups == 12
+    cluster.sim.run(until=apply_at + 1)
+    assert cluster.program.num_groups == 6

@@ -1,0 +1,195 @@
+"""Tests for the discrete-event engine core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.pending == 0
+
+
+def test_schedule_runs_callback_at_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1_000, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1_000
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(300, order.append, 3)
+    sim.schedule(100, order.append, 1)
+    sim.schedule(200, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(50, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_runs_after_current_instant_fifo():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, order.append, "nested")
+
+    sim.schedule(10, first)
+    sim.schedule(10, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.at(50, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(100, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(100, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(900, fired.append, 2)
+    sim.run(until=500)
+    assert fired == [1]
+    assert sim.now == 500
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.now == 900
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run(until=1_000)
+    assert sim.now == 1_000
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(i + 1, fired.append, i)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_step_runs_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    sim.schedule(30, lambda: None)
+    handle.cancel()
+    assert sim.peek() == 30
+
+
+def test_peek_empty_returns_none():
+    sim = Simulator()
+    assert sim.peek() is None
+
+
+def test_event_count_accumulates():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.event_count == 7
+
+
+def test_callbacks_can_schedule_more_work():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fire_times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fire_times.append(sim.now))
+    sim.run()
+    assert fire_times == sorted(fire_times)
+    assert len(fire_times) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=100), st.integers()),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_fifo_within_equal_times(delays):
+    sim = Simulator()
+    fired = []
+    for delay, tag in delays:
+        sim.schedule(delay, fired.append, (delay, tag))
+    sim.run()
+    # Stable sort by delay must reproduce the firing order exactly.
+    assert fired == sorted(fired, key=lambda pair: pair[0])

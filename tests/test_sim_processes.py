@@ -1,0 +1,225 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import AllOf, AnyOf, Interrupt, Process, ProcessEvent, Simulator, Timeout
+
+
+def run_process(gen_fn):
+    sim = Simulator()
+    proc = Process(sim, gen_fn(sim))
+    sim.run()
+    return sim, proc
+
+
+def test_timeout_advances_clock():
+    def proc(sim):
+        yield Timeout(sim, 500)
+        assert sim.now == 500
+        yield Timeout(sim, 250)
+        assert sim.now == 750
+
+    sim, p = run_process(proc)
+    assert p.ok
+    assert sim.now == 750
+
+
+def test_process_return_value_becomes_event_value():
+    def proc(sim):
+        yield Timeout(sim, 1)
+        return 42
+
+    _, p = run_process(proc)
+    assert p.ok
+    assert p.value == 42
+
+
+def test_timeout_carries_value():
+    def proc(sim):
+        got = yield Timeout(sim, 10, value="payload")
+        assert got == "payload"
+
+    _, p = run_process(proc)
+    assert p.ok
+
+
+def test_process_can_wait_on_process():
+    trace = []
+
+    def child(sim):
+        yield Timeout(sim, 100)
+        trace.append(("child", sim.now))
+        return "done"
+
+    def parent(sim):
+        result = yield Process(sim, child(sim))
+        trace.append(("parent", sim.now))
+        assert result == "done"
+
+    sim = Simulator()
+    Process(sim, parent(sim))
+    sim.run()
+    assert trace == [("child", 100), ("parent", 100)]
+
+
+def test_exception_in_process_fails_it():
+    def proc(sim):
+        yield Timeout(sim, 1)
+        raise ValueError("boom")
+
+    _, p = run_process(proc)
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, ValueError)
+
+
+def test_waiting_on_failed_process_reraises():
+    def child(sim):
+        yield Timeout(sim, 1)
+        raise ValueError("inner")
+
+    def parent(sim):
+        with pytest.raises(ValueError):
+            yield Process(sim, child(sim))
+        return "handled"
+
+    sim = Simulator()
+    p = Process(sim, parent(sim))
+    sim.run()
+    assert p.ok
+    assert p.value == "handled"
+
+
+def test_yielding_non_event_fails_process():
+    def proc(sim):
+        yield 5
+
+    _, p = run_process(proc)
+    assert not p.ok
+    assert isinstance(p.value, ProcessError)
+
+
+def test_interrupt_wakes_sleeping_process():
+    def sleeper(sim):
+        try:
+            yield Timeout(sim, 10_000)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+        return "slept"
+
+    sim = Simulator()
+    p = Process(sim, sleeper(sim))
+    sim.schedule(100, p.interrupt, "wake up")
+    sim.run()
+    assert p.value == ("interrupted", "wake up", 100)
+
+
+def test_interrupt_finished_process_is_error():
+    def quick(sim):
+        yield Timeout(sim, 1)
+
+    sim = Simulator()
+    p = Process(sim, quick(sim))
+    sim.run()
+    with pytest.raises(ProcessError):
+        p.interrupt()
+
+
+def test_uncaught_interrupt_fails_process():
+    def sleeper(sim):
+        yield Timeout(sim, 10_000)
+
+    sim = Simulator()
+    p = Process(sim, sleeper(sim))
+    sim.schedule(5, p.interrupt)
+    sim.run()
+    assert not p.ok
+    assert isinstance(p.value, Interrupt)
+
+
+def test_event_succeed_twice_is_error():
+    sim = Simulator()
+    event = ProcessEvent(sim)
+    event.succeed(1)
+    with pytest.raises(ProcessError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    event = ProcessEvent(sim)
+    with pytest.raises(ProcessError):
+        event.fail("not an exception")
+
+
+def test_callback_after_trigger_fires_immediately():
+    sim = Simulator()
+    event = ProcessEvent(sim)
+    event.succeed("v")
+    seen = []
+    event.add_callback(lambda ev: seen.append(ev.value))
+    assert seen == ["v"]
+
+
+def test_anyof_fires_on_first():
+    def proc(sim):
+        t1 = Timeout(sim, 100, value="fast")
+        t2 = Timeout(sim, 200, value="slow")
+        done = yield AnyOf(sim, [t1, t2])
+        assert sim.now == 100
+        assert (t1, "fast") in done
+        assert all(ev is not t2 for ev, _ in done)
+
+    _, p = run_process(proc)
+    assert p.ok, p.value
+
+
+def test_allof_waits_for_all():
+    def proc(sim):
+        values = yield AllOf(sim, [Timeout(sim, 10, value=1), Timeout(sim, 30, value=2)])
+        assert sim.now == 30
+        assert values == [1, 2]
+
+    _, p = run_process(proc)
+    assert p.ok, p.value
+
+
+def test_empty_conditions_fire_immediately():
+    def proc(sim):
+        yield AnyOf(sim, [])
+        yield AllOf(sim, [])
+        return sim.now
+
+    _, p = run_process(proc)
+    assert p.ok
+    assert p.value == 0
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Process(sim, lambda: None)
+
+
+def test_many_processes_interleave_deterministically():
+    trace = []
+
+    def worker(sim, name, period):
+        for _ in range(3):
+            yield Timeout(sim, period)
+            trace.append((sim.now, name))
+
+    sim = Simulator()
+    Process(sim, worker(sim, "a", 10))
+    Process(sim, worker(sim, "b", 15))
+    sim.run()
+    assert trace == [
+        (10, "a"),
+        (15, "b"),
+        (20, "a"),
+        # At t=30 both fire; b's timeout was scheduled first (at t=15,
+        # vs t=20 for a's), so FIFO tie-breaking runs b first.
+        (30, "b"),
+        (30, "a"),
+        (45, "b"),
+    ]

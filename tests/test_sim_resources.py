@@ -1,0 +1,168 @@
+"""Tests for Store, Resource and Container."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import Container, Process, Resource, Simulator, Store, Timeout
+
+
+def test_store_put_get_nowait_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(3):
+        assert store.put_nowait(i)
+    assert [store.pop_nowait() for _ in range(3)] == [0, 1, 2]
+    assert store.pop_nowait() is None
+
+
+def test_store_capacity_rejects_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.put_nowait("a")
+    assert store.put_nowait("b")
+    assert store.is_full
+    assert not store.put_nowait("c")
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Store(sim, capacity=0)
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(s):
+        item = yield store.get()
+        got.append((s.now, item))
+
+    Process(sim, consumer(sim))
+    sim.schedule(500, store.put_nowait, "late")
+    sim.run()
+    assert got == [(500, "late")]
+
+
+def test_store_put_nowait_hands_directly_to_getter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+
+    def consumer(s):
+        yield store.get()
+
+    Process(sim, consumer(sim))
+    sim.run()
+    # Getter is now parked; a put should go straight to it, not the queue.
+    assert store.put_nowait("x")
+    sim.run()
+    assert len(store) == 0
+
+
+def test_store_blocking_put_waits_for_space():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put_nowait("occupying")
+    done = []
+
+    def producer(s):
+        yield store.put("queued")
+        done.append(s.now)
+
+    Process(sim, producer(sim))
+    sim.schedule(300, store.pop_nowait)
+    sim.run()
+    assert done == [300]
+    assert store.pop_nowait() == "queued"
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    timeline = []
+
+    def job(s, name):
+        yield pool.request()
+        timeline.append((s.now, name, "start"))
+        yield Timeout(s, 100)
+        pool.release()
+        timeline.append((s.now, name, "end"))
+
+    for name in ("a", "b", "c"):
+        Process(sim, job(sim, name))
+    sim.run()
+    starts = {name: t for t, name, kind in timeline if kind == "start"}
+    assert starts["a"] == 0
+    assert starts["b"] == 0
+    assert starts["c"] == 100
+
+
+def test_resource_release_without_request_errors():
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    with pytest.raises(ProcessError):
+        pool.release()
+
+
+def test_resource_available_tracks_usage():
+    sim = Simulator()
+    pool = Resource(sim, capacity=3)
+    pool.request()
+    pool.request()
+    assert pool.available == 1
+    pool.release()
+    assert pool.available == 2
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Resource(sim, capacity=0)
+
+
+def test_container_get_blocks_until_level():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0)
+    got = []
+
+    def consumer(s):
+        yield tank.get(4.0)
+        got.append(s.now)
+
+    Process(sim, consumer(sim))
+    sim.schedule(100, lambda: tank.put(2.0))
+    sim.schedule(200, lambda: tank.put(2.0))
+    sim.run()
+    assert got == [200]
+    assert tank.level == 0.0
+
+
+def test_container_put_blocks_when_full():
+    sim = Simulator()
+    tank = Container(sim, capacity=5.0, init=5.0)
+    done = []
+
+    def producer(s):
+        yield tank.put(3.0)
+        done.append(s.now)
+
+    Process(sim, producer(sim))
+    sim.schedule(50, lambda: tank.get(4.0))
+    sim.run()
+    assert done == [50]
+    assert tank.level == 4.0
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Container(sim, capacity=0)
+    with pytest.raises(ProcessError):
+        Container(sim, capacity=1.0, init=2.0)
+    tank = Container(sim, capacity=1.0)
+    with pytest.raises(ProcessError):
+        tank.get(0)
+    with pytest.raises(ProcessError):
+        tank.put(2.0)

@@ -1,0 +1,362 @@
+"""Tests for the PISA switch model: registers, tables, pipeline, switch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    PipelineConfigError,
+    PortError,
+    StageAccessError,
+    SwitchError,
+    TableError,
+)
+from repro.net import Host, Link, Packet
+from repro.sim import Simulator
+from repro.switchsim import (
+    ControlPlane,
+    HashUnit,
+    MatchActionTable,
+    Pipeline,
+    PipelineAction,
+    ProgrammableSwitch,
+    RegisterArray,
+    ResourceModel,
+    SwitchProgram,
+    crc32_hash,
+)
+
+
+# ----------------------------------------------------------------------
+# RegisterArray
+# ----------------------------------------------------------------------
+def test_register_read_and_rmw():
+    reg = RegisterArray("r", size=4, stage=1)
+    pipeline = Pipeline()
+    pipeline.place_register(reg)
+    ctx = pipeline.new_pass()
+    old, new = ctx.reg(reg, 2, update=lambda v: v + 5)
+    assert (old, new) == (0, 5)
+    assert reg.peek(2) == 5
+
+
+def test_register_second_access_same_pass_raises():
+    pipeline = Pipeline()
+    reg = pipeline.place_register(RegisterArray("state", size=8, stage=0))
+    ctx = pipeline.new_pass()
+    ctx.reg(reg, 0)
+    with pytest.raises(StageAccessError):
+        ctx.reg(reg, 1)
+
+
+def test_register_ok_across_passes():
+    pipeline = Pipeline()
+    reg = pipeline.place_register(RegisterArray("state", size=8, stage=0))
+    ctx1 = pipeline.new_pass()
+    ctx1.reg(reg, 0)
+    ctx2 = pipeline.new_pass()
+    ctx2.reg(reg, 0)  # fresh pass token: allowed
+
+
+def test_register_wrong_stage_raises():
+    reg = RegisterArray("r", size=4, stage=3)
+    with pytest.raises(StageAccessError):
+        reg.access(0, stage=1, pass_token=1)
+
+
+def test_register_index_bounds():
+    reg = RegisterArray("r", size=4, stage=0)
+    with pytest.raises(StageAccessError):
+        reg.access(4, stage=0, pass_token=1)
+
+
+def test_register_width_masks_values():
+    reg = RegisterArray("r", size=1, stage=0, width_bits=8)
+    reg.poke(0, 0x1FF)
+    assert reg.peek(0) == 0xFF
+
+
+def test_register_clear_and_sram():
+    reg = RegisterArray("r", size=1024, stage=0, width_bits=32, initial=7)
+    assert reg.peek(0) == 7
+    reg.clear()
+    assert reg.peek(1023) == 0
+    assert reg.sram_bytes == 1024 * 4
+
+
+def test_register_validation():
+    with pytest.raises(StageAccessError):
+        RegisterArray("r", size=0, stage=0)
+    with pytest.raises(StageAccessError):
+        RegisterArray("r", size=1, stage=-1)
+    with pytest.raises(StageAccessError):
+        RegisterArray("r", size=1, stage=0, width_bits=12)
+
+
+# ----------------------------------------------------------------------
+# MatchActionTable
+# ----------------------------------------------------------------------
+def test_table_install_lookup_remove():
+    table = MatchActionTable("grp", stage=0)
+    table.install(1, (2, 3))
+    assert table.lookup(1, stage=0) == (2, 3)
+    assert table.lookup(9, stage=0) is None
+    assert table.miss_count == 1
+    table.remove(1)
+    assert 1 not in table
+
+
+def test_table_wrong_stage_lookup_raises():
+    table = MatchActionTable("grp", stage=2)
+    with pytest.raises(StageAccessError):
+        table.lookup(1, stage=0)
+
+
+def test_table_capacity_enforced():
+    table = MatchActionTable("t", stage=0, max_entries=1)
+    table.install(1, "a")
+    table.install(1, "b")  # overwrite is fine
+    with pytest.raises(TableError):
+        table.install(2, "c")
+
+
+def test_table_remove_missing_raises():
+    table = MatchActionTable("t", stage=0)
+    with pytest.raises(TableError):
+        table.remove(5)
+
+
+# ----------------------------------------------------------------------
+# Pipeline / PassContext
+# ----------------------------------------------------------------------
+def test_pipeline_feed_forward_enforced():
+    pipeline = Pipeline()
+    early = pipeline.place_register(RegisterArray("early", size=1, stage=1))
+    late = pipeline.place_register(RegisterArray("late", size=1, stage=4))
+    ctx = pipeline.new_pass()
+    ctx.reg(late, 0)
+    with pytest.raises(StageAccessError):
+        ctx.reg(early, 0)
+
+
+def test_pipeline_shadow_table_pattern_works():
+    """The paper's trick: state in stage i, shadow copy in stage i+1."""
+    pipeline = Pipeline()
+    state = pipeline.place_register(RegisterArray("state", size=4, stage=1))
+    shadow = pipeline.place_register(RegisterArray("shadow", size=4, stage=2))
+    state.poke(0, 1)
+    shadow.poke(1, 1)
+    ctx = pipeline.new_pass()
+    s1, _ = ctx.reg(state, 0)
+    s2, _ = ctx.reg(shadow, 1)
+    assert (s1, s2) == (1, 1)
+
+
+def test_pipeline_stage_placement_validated():
+    pipeline = Pipeline(num_stages=2)
+    with pytest.raises(PipelineConfigError):
+        pipeline.place_register(RegisterArray("r", size=1, stage=5))
+    with pytest.raises(PipelineConfigError):
+        Pipeline(num_stages=0)
+
+
+def test_pipeline_stages_used():
+    pipeline = Pipeline()
+    assert pipeline.stages_used == 0
+    pipeline.place_register(RegisterArray("r", size=1, stage=6))
+    assert pipeline.stages_used == 7
+
+
+def test_hash_unit_and_crc():
+    unit = HashUnit("h", stage=3, buckets=128)
+    idx = unit.index(12345)
+    assert 0 <= idx < 128
+    assert unit.invocations == 1
+    assert crc32_hash(12345, 128) == idx
+    with pytest.raises(PipelineConfigError):
+        crc32_hash(1, 0)
+
+
+@given(st.integers(min_value=0), st.integers(min_value=1, max_value=1 << 20))
+@settings(max_examples=100, deadline=None)
+def test_property_crc_hash_in_range(value, buckets):
+    assert 0 <= crc32_hash(value, buckets) < buckets
+
+
+# ----------------------------------------------------------------------
+# ProgrammableSwitch forwarding
+# ----------------------------------------------------------------------
+class SinkHost(Host):
+    def __init__(self, sim, name, ip):
+        super().__init__(sim, name, ip, tx_cost_ns=0, rx_cost_ns=0)
+        self.received = []
+
+    def handle(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def wire(sim, switch, host, port):
+    link = Link(sim, host, switch, propagation_ns=100, bandwidth_bps=100e9)
+    host.attach_link(link)
+    switch.connect(port, link)
+    switch.install_route(host.ip, port)
+    return link
+
+
+def test_switch_l3_forwarding():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim, pipeline_latency_ns=400)
+    a = SinkHost(sim, "a", 1)
+    b = SinkHost(sim, "b", 2)
+    wire(sim, switch, a, 0)
+    wire(sim, switch, b, 1)
+    a.send(Packet(src=1, dst=2, sport=0, dport=0, size=125))
+    sim.run()
+    assert len(b.received) == 1
+    # 10 ns serialisation + 100 ns prop + 400 ns pipeline + 10 + 100.
+    assert b.received[0][0] == 620
+    assert switch.counters.get("tx") == 1
+
+
+def test_switch_no_route_counts():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim)
+    a = SinkHost(sim, "a", 1)
+    wire(sim, switch, a, 0)
+    a.send(Packet(src=1, dst=99, sport=0, dport=0, size=64))
+    sim.run()
+    assert switch.counters.get("no_route") == 1
+
+
+def test_switch_port_validation():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim, num_ports=2)
+    a = SinkHost(sim, "a", 1)
+    link = Link(sim, a, switch)
+    with pytest.raises(PortError):
+        switch.connect(5, link)
+    switch.connect(1, link)
+    with pytest.raises(PortError):
+        switch.connect(1, link)
+    with pytest.raises(PortError):
+        switch.install_route(1, 0)
+
+
+class DropOddProgram(SwitchProgram):
+    """Test program: drops odd sport, recirculates once when asked."""
+
+    def __init__(self):
+        self.pipeline = Pipeline()
+        self.seen = []
+
+    def matches(self, packet):
+        return packet.dport == 7777
+
+    def apply(self, packet, ctx, switch):
+        self.seen.append((packet.uid, packet.recirculated))
+        action = PipelineAction()
+        if packet.sport % 2 == 1:
+            action.drop = True
+        elif packet.sport == 100 and not packet.recirculated:
+            clone = packet.copy()
+            action.recirculate.append(clone)
+        return action
+
+
+def test_switch_program_drop_and_passthrough():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim)
+    program = DropOddProgram()
+    switch.install_program(program)
+    a = SinkHost(sim, "a", 1)
+    b = SinkHost(sim, "b", 2)
+    wire(sim, switch, a, 0)
+    wire(sim, switch, b, 1)
+    a.send(Packet(src=1, dst=2, sport=3, dport=7777, size=64))  # dropped
+    a.send(Packet(src=1, dst=2, sport=2, dport=7777, size=64))  # forwarded
+    a.send(Packet(src=1, dst=2, sport=2, dport=9999, size=64))  # not matched
+    sim.run()
+    assert len(b.received) == 2
+    assert switch.counters.get("dropped_by_program") == 1
+
+
+def test_switch_recirculation_reenters_pipeline():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim, pipeline_latency_ns=400, recirc_latency_ns=700)
+    program = DropOddProgram()
+    switch.install_program(program)
+    a = SinkHost(sim, "a", 1)
+    b = SinkHost(sim, "b", 2)
+    wire(sim, switch, a, 0)
+    wire(sim, switch, b, 1)
+    a.send(Packet(src=1, dst=2, sport=100, dport=7777, size=64))
+    sim.run()
+    # Original + recirculated copy both reach b.
+    assert len(b.received) == 2
+    assert [recirc for _, recirc in program.seen] == [False, True]
+    assert switch.counters.get("recirculated") == 1
+
+
+def test_switch_double_program_install_rejected():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim)
+    switch.install_program(DropOddProgram())
+    with pytest.raises(SwitchError):
+        switch.install_program(DropOddProgram())
+
+
+def test_switch_failure_drops_then_recovers_with_wiped_state():
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim)
+    program = DropOddProgram()
+    reg = program.pipeline.place_register(RegisterArray("soft", size=4, stage=0))
+    switch.install_program(program)
+    a = SinkHost(sim, "a", 1)
+    b = SinkHost(sim, "b", 2)
+    wire(sim, switch, a, 0)
+    wire(sim, switch, b, 1)
+    reg.poke(0, 42)
+
+    switch.fail()
+    a.send(Packet(src=1, dst=2, sport=2, dport=7777, size=64))
+    sim.run()
+    assert b.received == []
+    assert switch.counters.get("rx_dropped_down") == 1
+
+    switch.recover(reinit_delay_ns=1_000)
+    assert switch.down  # still re-initialising
+    assert reg.peek(0) == 0  # soft state wiped
+    sim.run()
+    assert not switch.down
+    a.send(Packet(src=1, dst=2, sport=2, dport=7777, size=64))
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_control_plane_applies_after_latency_and_serialises():
+    sim = Simulator()
+    cp = ControlPlane(sim, op_latency_ns=1000, ops_per_second=1e6)
+    applied = []
+    cp.submit(applied.append, "first")
+    cp.submit(applied.append, "second")
+    sim.run()
+    assert applied == ["first", "second"]
+    assert cp.ops_applied == 2
+    assert sim.now == 2000  # second op gated by the 1 us inter-op gap
+
+
+def test_resource_model_accounts_pipeline():
+    pipeline = Pipeline()
+    pipeline.place_register(RegisterArray("f0", size=1 << 17, stage=5, width_bits=32))
+    pipeline.place_register(RegisterArray("f1", size=1 << 17, stage=6, width_bits=32))
+    table = pipeline.place_table(MatchActionTable("grp", stage=0))
+    table.install(0, (1, 2))
+    pipeline.place_hash(HashUnit("h", stage=4, buckets=1 << 17))
+    report = ResourceModel().report(pipeline, filter_slots=1 << 18)
+    assert report.stages_used == 7
+    assert report.register_cells == 1 << 18
+    assert report.register_sram_bytes == (1 << 18) * 4
+    # 1.0 MiB of 22 MiB ~= 4.55 %; the paper rounds to 1.05 MB / 4.77 %.
+    assert 0.04 < report.sram_fraction < 0.05
+    assert report.supported_throughput_rps == pytest.approx(5.24e9, rel=0.01)
+    assert any("stages" in row for row in report.rows())
