@@ -3,7 +3,8 @@
 Examples::
 
     repro-netclone --list
-    repro-netclone fig7 --scale 0.25
+    repro-netclone schemes
+    repro-netclone fig7 --scale 0.25 --jobs 4
     repro-netclone fig16 resources --seed 7
 """
 
@@ -14,6 +15,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.schemes import describe_schemes
 
 __all__ = ["main"]
 
@@ -27,7 +29,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (fig7..fig16, table1, resources)",
+        help="experiment ids to run (fig7..fig16, table1, resources), or "
+        "'schemes' to list the registered schemes",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -39,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink measurement windows/grids (e.g. 0.25 for a quick pass)",
     )
     parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="sweep points in N parallel worker processes (0 = all CPU cores)",
+    )
     return parser
 
 
@@ -49,10 +59,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("available experiments:")
         for line in list_experiments():
             print(f"  {line}")
+        print("  schemes — list registered load-balancing/cloning schemes")
         return 0
     for experiment_id in args.experiments:
+        if experiment_id == "schemes":
+            print("registered schemes:")
+            for line in describe_schemes():
+                print(f"  {line}")
+            continue
         harness = get_experiment(experiment_id)
-        harness(scale=args.scale, seed=args.seed)
+        harness(scale=args.scale, seed=args.seed, jobs=args.jobs)
     return 0
 
 

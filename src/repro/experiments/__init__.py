@@ -1,12 +1,58 @@
 """Experiment harnesses: one module per paper figure/table.
 
-Each module exposes a ``run(scale=1.0, seed=...)`` function returning a
-structured result and a ``main()`` that prints the same rows/series the
+Each module exposes a ``run(scale=1.0, seed=..., jobs=1)`` function
+returning a structured result and prints the same rows/series the
 paper reports.  The registry maps experiment IDs (``fig7``, ``fig13``,
 ``table1``, ...) to those entry points; ``python -m repro <id>`` runs
-one.
+one, and ``--jobs N`` fans the sweep points out over worker processes.
+
+Adding a scheme
+---------------
+Schemes are plugins — no edits to :mod:`repro.experiments.common`:
+
+1. Write a client class (subclass
+   :class:`~repro.apps.client.OpenLoopClient`) in your own module.
+2. Declare and register a spec::
+
+       from repro.experiments.schemes import SchemeSpec, register_scheme
+
+       @register_scheme
+       def _my_scheme() -> SchemeSpec:
+           return SchemeSpec(
+               name="my-scheme",
+               description="shown by `repro-netclone schemes`",
+               make_client=lambda ctx, common: MyClient(
+                   server_ips=ctx.server_ips, **common
+               ),
+           )
+
+3. Ensure the module is imported (add it to
+   :data:`repro.experiments.schemes.PLUGIN_MODULES`, or import it from
+   your driver script) and run
+   ``run_sweep(ClusterConfig(scheme="my-scheme"), loads)``.
+
+Optional ``SchemeSpec`` hooks add a switch program (``make_program``),
+a coordinator host (``make_coordinator``), NetClone-speaking servers
+(``netclone_mode``) and post-assembly tweaks (``post_build``).
+:mod:`repro.baselines.jsq_d` is a complete ~30-line example.
 """
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.schemes import (
+    SchemeSpec,
+    describe_schemes,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+)
 
-__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "SchemeSpec",
+    "describe_schemes",
+    "get_experiment",
+    "get_scheme",
+    "list_experiments",
+    "register_scheme",
+    "scheme_names",
+]

@@ -2,21 +2,16 @@
 
 This module turns a :class:`ClusterConfig` into a simulated testbed
 matching §5.1.1 — one ToR switch, client hosts, worker servers (plus a
-coordinator host for LÆDGE) — runs it, and reduces the run to a
-:class:`~repro.metrics.sweep.LoadPoint`.
+coordinator host when the scheme deploys one) — runs it, and reduces
+the run to a :class:`~repro.metrics.sweep.LoadPoint`.
 
-Supported schemes:
-
-=====================  ====================================================
-``baseline``           random server choice, no cloning (plain L3 switch)
-``cclone``             static client-side cloning, d = 2
-``laedge``             coordinator-based dynamic cloning
-``netclone``           NetClone switch program (cloning + filtering)
-``netclone-nofilter``  NetClone with response filtering disabled (Fig. 15)
-``netclone-noclonedrop`` NetClone without the server-side stale-clone drop
-``racksched``          switch JSQ power-of-two, no cloning
-``netclone-racksched`` NetClone + RackSched integration (§3.7)
-=====================  ====================================================
+Schemes are **not** hardcoded here: :class:`Cluster` is generic
+assembly driven by the scheme plugin registry in
+:mod:`repro.experiments.schemes`.  ``repro-netclone schemes`` lists
+every registered scheme with its one-line description, and new schemes
+self-register from their own modules (see the how-to in
+:mod:`repro.experiments`) without touching this file.  ``SCHEMES``
+below is derived from the registry.
 """
 
 from __future__ import annotations
@@ -25,17 +20,13 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.apps.client import OpenLoopClient
-from repro.baselines.cclone import CCloneClient
-from repro.baselines.laedge import LaedgeClient, LaedgeCoordinator
-from repro.baselines.random_lb import BaselineClient
-from repro.core.client import NetCloneClient
-from repro.core.program import NetCloneProgram
-from repro.core.racksched import NetCloneRackSchedProgram, RackSchedProgram
-from repro.core.server import RpcServer
 from repro.errors import ExperimentError
+from repro.experiments.executor import SweepExecutor, resolve_executor
+from repro.experiments.schemes import SchemeContext, SchemeSpec, get_scheme, scheme_names
 from repro.experiments.specs import WorkloadSpec, make_synthetic_spec
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.sweep import LoadPoint, SweepResult
+from repro.net.host import Host
 from repro.net.topology import StarTopology
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
@@ -45,24 +36,13 @@ from repro.workloads.distributions import JitterModel
 
 __all__ = ["Cluster", "ClusterConfig", "SCHEMES", "run_point", "run_sweep"]
 
-SCHEMES = (
-    "baseline",
-    "cclone",
-    "laedge",
-    "netclone",
-    "netclone-nofilter",
-    "netclone-noclonedrop",
-    "racksched",
-    "netclone-racksched",
-)
 
-_NETCLONE_SCHEMES = {
-    "netclone",
-    "netclone-nofilter",
-    "netclone-noclonedrop",
-    "racksched",
-    "netclone-racksched",
-}
+def __getattr__(name: str):
+    # SCHEMES is derived from the registry at access time so plugin
+    # schemes registered after import are included.
+    if name == "SCHEMES":
+        return scheme_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -101,10 +81,8 @@ class ClusterConfig:
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEMES:
-            raise ExperimentError(
-                f"unknown scheme {self.scheme!r}; choose one of {SCHEMES}"
-            )
+        # Resolves aliases and raises ExperimentError on unknown names.
+        self.scheme = get_scheme(self.scheme).name
         if self.workload is None:
             self.workload = make_synthetic_spec("exp", mean_us=25.0)
         if self.num_servers < 2:
@@ -142,6 +120,7 @@ class Cluster:
 
     def __init__(self, config: ClusterConfig):
         self.config = config
+        self.scheme_spec: SchemeSpec = get_scheme(config.scheme)
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
         self.recorder = LatencyRecorder(warmup_ns=config.warmup_ns, end_ns=config.end_ns)
@@ -152,23 +131,27 @@ class Cluster:
             recirc_latency_ns=config.switch_recirc_ns,
         )
         self.topology = StarTopology(self.sim, self.switch)
-        self.servers: List[RpcServer] = []
+        self.servers: List[Any] = []
         self.clients: List[OpenLoopClient] = []
-        self.coordinator: Optional[LaedgeCoordinator] = None
-        self.program: Optional[NetCloneProgram] = None
+        self.coordinator: Optional[Host] = None
+        self.program: Optional[Any] = None
         self._build()
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
+        from repro.core.server import RpcServer
+
         config = self.config
-        scheme = config.scheme
-        netclone_mode = scheme in _NETCLONE_SCHEMES
+        spec = self.scheme_spec
         jitter = JitterModel(config.jitter_p, config.jitter_factor)
+        context = SchemeContext(cluster=self, config=config)
 
-        # LÆDGE needs its coordinator's address before servers exist.
-        coordinator_ip = self.topology.allocate_ip() if scheme == "laedge" else None
+        # A coordinator's address must exist before servers (they
+        # redirect their responses to it).
+        if spec.needs_coordinator:
+            context.coordinator_ip = self.topology.allocate_ip()
 
-        worker_counts = self.config.worker_counts()
+        worker_counts = config.worker_counts()
         for index in range(config.num_servers):
             server = RpcServer(
                 self.sim,
@@ -179,94 +162,47 @@ class Cluster:
                 jitter=jitter,
                 rng=self.rngs.stream(f"server{index}"),
                 num_workers=worker_counts[index],
-                netclone_mode=netclone_mode,
-                reply_to_ip=coordinator_ip,
+                netclone_mode=spec.netclone_mode,
+                reply_to_ip=context.coordinator_ip,
                 tx_cost_ns=config.server_tx_ns,
                 rx_cost_ns=config.server_rx_ns,
             )
             self.topology.add_host(server)
             self.servers.append(server)
-        server_ips = [server.ip for server in self.servers]
+        context.server_ips = [server.ip for server in self.servers]
 
-        if scheme == "laedge":
-            slots = config.laedge_slots_per_server
-            if slots is None:
-                slots = max(worker_counts)
-            self.coordinator = LaedgeCoordinator(
-                self.sim,
-                name="coordinator",
-                ip=coordinator_ip,
-                server_ips=server_ips,
-                rng=self.rngs.stream("coordinator"),
-                slots_per_server=slots,
-                cpu_cost_ns=config.coordinator_cpu_ns,
-            )
+        if spec.make_coordinator is not None:
+            self.coordinator = spec.make_coordinator(context)
             self.topology.add_host(self.coordinator)
 
-        if netclone_mode:
-            program_args = dict(
-                server_ips=server_ips,
-                num_filter_tables=config.num_filter_tables,
-                filter_slots=config.filter_slots,
-            )
-            if scheme == "racksched":
-                self.program = RackSchedProgram(**program_args)
-            elif scheme == "netclone-racksched":
-                self.program = NetCloneRackSchedProgram(**program_args)
-            else:
-                self.program = NetCloneProgram(
-                    filtering_enabled=(scheme != "netclone-nofilter"),
-                    **program_args,
-                )
+        if spec.make_program is not None:
+            self.program = spec.make_program(context)
+            context.program = self.program
             self.switch.install_program(self.program)
-            if scheme == "netclone-noclonedrop":
-                # Ablation: keep state piggybacking but accept stale clones.
-                for server in self.servers:
-                    server.drop_stale_clones = False
 
         per_client_rate = config.rate_rps / config.num_clients
         for index in range(config.num_clients):
-            self.clients.append(
-                self._make_client(index, per_client_rate, server_ips, coordinator_ip)
+            common = dict(
+                sim=self.sim,
+                name=f"client{index + 1}",
+                ip=self.topology.allocate_ip(),
+                client_id=index,
+                workload=config.workload.make_workload(
+                    self.rngs.stream(f"workload{index}")
+                ),
+                rate_rps=per_client_rate,
+                recorder=self.recorder,
+                rng=self.rngs.stream(f"client{index}"),
+                stop_at_ns=config.end_ns,
+                tx_cost_ns=config.client_tx_ns,
+                rx_cost_ns=config.client_rx_ns,
             )
+            client = spec.make_client(context, common)
+            self.topology.add_host(client)
+            self.clients.append(client)
 
-    def _make_client(
-        self,
-        index: int,
-        rate_rps: float,
-        server_ips: Sequence[int],
-        coordinator_ip: Optional[int],
-    ) -> OpenLoopClient:
-        config = self.config
-        common = dict(
-            sim=self.sim,
-            name=f"client{index + 1}",
-            ip=self.topology.allocate_ip(),
-            client_id=index,
-            workload=config.workload.make_workload(self.rngs.stream(f"workload{index}")),
-            rate_rps=rate_rps,
-            recorder=self.recorder,
-            rng=self.rngs.stream(f"client{index}"),
-            stop_at_ns=config.end_ns,
-            tx_cost_ns=config.client_tx_ns,
-            rx_cost_ns=config.client_rx_ns,
-        )
-        scheme = config.scheme
-        if scheme == "baseline":
-            client: OpenLoopClient = BaselineClient(server_ips=server_ips, **common)
-        elif scheme == "cclone":
-            client = CCloneClient(server_ips=server_ips, **common)
-        elif scheme == "laedge":
-            client = LaedgeClient(coordinator_ip=coordinator_ip, **common)
-        else:
-            assert self.program is not None
-            client = NetCloneClient(
-                num_groups=self.program.num_groups,
-                num_filter_tables=config.num_filter_tables,
-                **common,
-            )
-        self.topology.add_host(client)
-        return client
+        if spec.post_build is not None:
+            spec.post_build(context)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -292,11 +228,18 @@ class Cluster:
             "empty_queue_fraction": _mean_or_nan(
                 [server.empty_queue_fraction() for server in self.servers]
             ),
+            "state_samples_zero": float(
+                sum(server.state_samples_zero for server in self.servers)
+            ),
+            "state_samples_total": float(
+                sum(server.state_samples_total for server in self.servers)
+            ),
         }
         for key in ("nc_cloned", "nc_filtered", "nc_fingerprint_overwrite"):
             extra[key] = float(self.switch.counters.get(key))
-        if self.coordinator is not None:
-            extra["coordinator_queue"] = float(self.coordinator.queue_len)
+        queue_len = getattr(self.coordinator, "queue_len", None)
+        if queue_len is not None:
+            extra["coordinator_queue"] = float(queue_len)
         return LoadPoint(
             offered_rps=recorder.offered_rps(),
             throughput_rps=recorder.throughput_rps(),
@@ -329,16 +272,25 @@ def run_sweep(
     config: ClusterConfig,
     offered_loads_rps: Sequence[float],
     scheme: Optional[str] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Measure one throughput-latency curve.
 
     *config* provides everything but the rate (and optionally the
     scheme); each load re-runs an independent cluster with the same
-    seed so curves differ only in offered load.
+    seed so curves differ only in offered load.  With ``jobs > 1`` (or
+    an explicit *executor*) the points run in parallel worker
+    processes; results are bit-identical to the serial path because
+    every point seeds its own RNG registry.
     """
     chosen_scheme = scheme if scheme is not None else config.scheme
+    chosen_scheme = get_scheme(chosen_scheme).name
     result = SweepResult(scheme=chosen_scheme, workload=config.workload.name)
-    for rate in offered_loads_rps:
-        point_config = replace(config, scheme=chosen_scheme, rate_rps=rate)
-        result.add(run_point(point_config))
+    point_configs = [
+        replace(config, scheme=chosen_scheme, rate_rps=rate)
+        for rate in offered_loads_rps
+    ]
+    for point in resolve_executor(executor, jobs).run_points(point_configs):
+        result.add(point)
     return result

@@ -1,0 +1,164 @@
+"""Parallel sweep engine.
+
+Every figure reproduction reduces to a batch of independent
+``run_point`` calls — one fresh simulator per (scheme, offered-load)
+pair.  :class:`SweepExecutor` fans such a batch out over a
+``concurrent.futures`` process pool (``jobs`` workers) while keeping
+the results in submission order, so parallel sweeps are bit-identical
+to serial ones: each point builds its own
+:class:`~repro.sim.rng.RngRegistry` from the config seed, and nothing
+is shared between points.
+
+The executor degrades gracefully: ``jobs=1`` (the default) never
+spawns processes, unpicklable configs (e.g. ad-hoc specs holding
+closures) fall back to the serial path with a logged warning, and a
+pool that cannot be created (restricted environments) does the same.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import stream_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.common import ClusterConfig
+    from repro.metrics.sweep import LoadPoint
+
+__all__ = ["SweepExecutor", "point_seed", "resolve_executor"]
+
+_LOG = logging.getLogger(__name__)
+
+
+def point_seed(root_seed: int, label: str) -> int:
+    """Deterministic per-point seed derived from *root_seed*.
+
+    Uses the same SplitMix64 stream derivation as
+    :class:`~repro.sim.rng.RngRegistry`, so replicated runs (e.g. ten
+    repetitions of one operating point) get independent-looking but
+    reproducible seeds regardless of execution order.
+    """
+    return stream_seed(root_seed, f"sweep-point:{label}")
+
+
+def _run_point(config: "ClusterConfig") -> "LoadPoint":
+    # Top-level wrapper: picklable by reference for pool workers, and
+    # the late import keeps executor.py importable before common.py.
+    from repro.experiments.common import run_point
+
+    return run_point(config)
+
+
+def _worker_init(plugin_modules: Tuple[str, ...]) -> None:
+    """Pool initializer: make plugin schemes visible in the worker.
+
+    With the ``fork`` start method the worker inherits the parent's
+    registry; with ``spawn``/``forkserver`` it starts clean, so re-import
+    whichever modules registered schemes in the parent.  Modules that
+    cannot be imported (e.g. schemes registered from ``__main__``) are
+    skipped — the lookup error then surfaces per point.
+    """
+    import importlib
+
+    for module in plugin_modules:
+        try:
+            importlib.import_module(module)
+        except Exception:  # pragma: no cover - depends on start method
+            _LOG.debug("sweep worker could not import plugin %s", module)
+
+
+class SweepExecutor:
+    """Runs batches of independent cluster measurements.
+
+    :param jobs: worker processes; 1 means in-process serial execution
+        and values < 1 mean "all CPUs".
+    :param plugin_modules: modules to import in each worker before any
+        point runs (defaults to every module that registered a scheme).
+    """
+
+    def __init__(self, jobs: int = 1, plugin_modules: Optional[Sequence[str]] = None):
+        if jobs < 1:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self._plugin_modules = (
+            tuple(plugin_modules) if plugin_modules is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    def run_points(
+        self, configs: Sequence["ClusterConfig"], reseed: bool = False
+    ) -> List["LoadPoint"]:
+        """Measure every config; results keep the input order.
+
+        With ``reseed=True`` each config's seed is replaced by a
+        deterministic per-index derivation of it (for replicated runs
+        of otherwise identical configs).
+        """
+        configs = list(configs)
+        if reseed:
+            from dataclasses import replace
+
+            configs = [
+                replace(config, seed=point_seed(config.seed, str(index)))
+                for index, config in enumerate(configs)
+            ]
+        if self.jobs <= 1 or len(configs) <= 1:
+            return [_run_point(config) for config in configs]
+        if not self._picklable(configs):
+            return [_run_point(config) for config in configs]
+        try:
+            return self._run_pool(configs)
+        except BrokenProcessPool as exc:
+            # A worker died (OOM, spawn-side import failure).
+            _LOG.warning("process pool failed (%s); sweeping serially", exc)
+            return [_run_point(config) for config in configs]
+        except OSError as exc:
+            # Worker-raised exceptions carry a _RemoteTraceback cause;
+            # those are simulation errors (e.g. a scheme reading a
+            # missing file) and propagate unchanged — re-running the
+            # batch serially would only reproduce them slower.  A bare
+            # OSError is pool infrastructure (fork denied, rlimits).
+            if type(exc.__cause__).__name__ == "_RemoteTraceback":
+                raise
+            _LOG.warning("process pool unavailable (%s); sweeping serially", exc)
+            return [_run_point(config) for config in configs]
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, configs: List["ClusterConfig"]) -> List["LoadPoint"]:
+        from repro.experiments.schemes import registered_modules
+
+        plugins = self._plugin_modules
+        if plugins is None:
+            plugins = registered_modules()
+        workers = min(self.jobs, len(configs))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(plugins,)
+        ) as pool:
+            return list(pool.map(_run_point, configs))
+
+    def _picklable(self, configs: List["ClusterConfig"]) -> bool:
+        try:
+            pickle.dumps(configs)
+            return True
+        except Exception as exc:
+            _LOG.warning(
+                "sweep configs are not picklable (%s); sweeping serially", exc
+            )
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepExecutor jobs={self.jobs}>"
+
+
+def resolve_executor(
+    executor: Optional[SweepExecutor], jobs: Optional[int]
+) -> SweepExecutor:
+    """*executor* if given, else a fresh one for *jobs* (default serial)."""
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=1 if jobs is None else jobs)

@@ -42,7 +42,7 @@ NUM_SERVERS = 6
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
     """All four panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     for panel, (kind, mean_us, modes) in PANELS.items():
@@ -58,14 +58,14 @@ def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResul
         )
         capacity = capacity_rps(NUM_SERVERS * WORKERS, spec.mean_service_ns)
         loads = load_grid(capacity, scale)
-        results[panel] = sweep_schemes(config, SCHEMES, loads)
+        results[panel] = sweep_schemes(config, SCHEMES, loads, jobs=jobs)
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 7 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed).items():
+    for panel, series in collect(scale, seed, jobs=jobs).items():
         base = series["baseline"]
         cclone = series["cclone"]
         netclone = series["netclone"]
@@ -87,5 +87,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig7", "synthetic workloads: Baseline vs C-Clone vs NetClone (4 panels)")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

@@ -39,7 +39,7 @@ NUM_SERVERS = 5
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
     """Both panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     for panel, (kind, mean_us, modes) in PANELS.items():
@@ -55,14 +55,14 @@ def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResul
         )
         capacity = capacity_rps(NUM_SERVERS * WORKERS, spec.mean_service_ns)
         loads = load_grid(capacity, scale)
-        results[panel] = sweep_schemes(config, SCHEMES, loads)
+        results[panel] = sweep_schemes(config, SCHEMES, loads, jobs=jobs)
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 8 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed).items():
+    for panel, series in collect(scale, seed, jobs=jobs).items():
         notes = [
             f"max throughput (MRPS): LAEDGE {series['laedge'].max_throughput_mrps():.2f} "
             f"< C-Clone {series['cclone'].max_throughput_mrps():.2f} "
@@ -76,5 +76,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig8", "scalability comparison: C-Clone vs LAEDGE vs NetClone")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

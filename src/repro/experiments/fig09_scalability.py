@@ -31,7 +31,7 @@ SERVER_COUNTS = (2, 4, 6)
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1) -> Dict[int, Dict[str, SweepResult]]:
+def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[int, Dict[str, SweepResult]]:
     """Curves keyed by server count then scheme."""
     results: Dict[int, Dict[str, SweepResult]] = {}
     spec_factory = lambda: make_synthetic_spec("exp", mean_us=25.0)  # noqa: E731
@@ -48,13 +48,13 @@ def collect(scale: float = 1.0, seed: int = 1) -> Dict[int, Dict[str, SweepResul
         )
         capacity = capacity_rps(num_servers * WORKERS, spec.mean_service_ns)
         loads = load_grid(capacity, scale)
-        results[num_servers] = sweep_schemes(config, SCHEMES, loads)
+        results[num_servers] = sweep_schemes(config, SCHEMES, loads, jobs=jobs)
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 9 and return the formatted report."""
-    results = collect(scale, seed)
+    results = collect(scale, seed, jobs=jobs)
     sections = []
     tput = {
         n: results[n]["netclone"].max_throughput_mrps() for n in SERVER_COUNTS
@@ -76,5 +76,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig9", "impact of the number of worker servers (2/4/6)")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

@@ -43,7 +43,7 @@ PANELS = {
 NUM_SERVERS = 6
 
 
-def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
     """All four panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     for panel, (kind, modes, workers) in PANELS.items():
@@ -62,14 +62,14 @@ def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResul
         )
         capacity = capacity_rps(total_workers, spec.mean_service_ns)
         loads = load_grid(capacity, scale)
-        results[panel] = sweep_schemes(config, SCHEMES, loads)
+        results[panel] = sweep_schemes(config, SCHEMES, loads, jobs=jobs)
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 10 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed).items():
+    for panel, series in collect(scale, seed, jobs=jobs).items():
         mid = series["baseline"].points[len(series["baseline"].points) // 2].offered_rps
         notes = [
             f"p99 at mid load: Baseline {series['baseline'].p99_at_load(mid):.0f} us, "
@@ -84,5 +84,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig10", "NetClone with RackSched, homogeneous and heterogeneous clusters")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

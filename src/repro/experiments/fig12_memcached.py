@@ -31,7 +31,7 @@ NUM_SERVERS = fig11_redis.NUM_SERVERS
 WORKERS = fig11_redis.WORKERS
 
 
-def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
     """Both mix panels' curves with the Memcached cost model."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     num_keys = fig11_redis.FULL_KEYS if scale >= 1.0 else fig11_redis.QUICK_KEYS
@@ -54,14 +54,14 @@ def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, SweepResul
         config = replace(config, measure_ns=config.measure_ns * 3)
         capacity = capacity_rps(NUM_SERVERS * WORKERS, spec.mean_service_ns)
         loads = load_grid(capacity, scale)
-        results[panel] = sweep_schemes(config, SCHEMES, loads)
+        results[panel] = sweep_schemes(config, SCHEMES, loads, jobs=jobs)
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 12 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed).items():
+    for panel, series in collect(scale, seed, jobs=jobs).items():
         base = series["baseline"]
         netclone = series["netclone"]
         low = base.points[0].offered_rps
@@ -88,5 +88,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig12", "Memcached key-value store, 99/1 and 90/10 GET/SCAN mixes")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

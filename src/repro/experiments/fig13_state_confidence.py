@@ -14,12 +14,13 @@ lower, with enough run-to-run spread that individual runs can cross.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.experiments.common import Cluster, ClusterConfig, run_point
-from repro.experiments.harness import capacity_rps, load_grid, scaled_config
+from repro.experiments.common import ClusterConfig
+from repro.experiments.executor import SweepExecutor, resolve_executor
+from repro.experiments.harness import capacity_rps, scaled_config
 from repro.experiments.registry import register
 from repro.experiments.specs import make_synthetic_spec
 from repro.metrics.tables import format_table
@@ -55,47 +56,59 @@ def _base_config(scale: float, seed: int) -> ClusterConfig:
     )
 
 
-def collect_empty_queue(scale: float = 1.0, seed: int = 1) -> List[Tuple[float, float]]:
+def collect_empty_queue(
+    scale: float = 1.0,
+    seed: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> List[Tuple[float, float]]:
     """(load fraction, empty-queue fraction) samples for panel (a)."""
     config = _base_config(scale, seed)
     capacity = _effective_capacity(config)
     fractions = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
     if scale < 0.4:
         fractions = (0.1, 0.4, 0.7, 1.0)
+    configs = [
+        replace(config, scheme="netclone", rate_rps=capacity * fraction)
+        for fraction in fractions
+    ]
+    points = resolve_executor(executor, None).run_points(configs)
     samples = []
-    for fraction in fractions:
-        cluster = Cluster(replace(config, scheme="netclone", rate_rps=capacity * fraction))
-        cluster.start()
-        cluster.run()
-        zeros = sum(server.state_samples_zero for server in cluster.servers)
-        total = sum(server.state_samples_total for server in cluster.servers)
+    for fraction, point in zip(fractions, points):
+        zeros = point.extra["state_samples_zero"]
+        total = point.extra["state_samples_total"]
         samples.append((fraction, zeros / total if total else float("nan")))
     return samples
 
 
 def collect_repeated_p99(
-    scale: float = 1.0, seed: int = 1, repeats: int = REPEATS
+    scale: float = 1.0,
+    seed: int = 1,
+    repeats: int = REPEATS,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Tuple[float, float]]:
     """Mean and std of p99 over repeated runs at 90 % load (panel b)."""
     config = _base_config(scale, seed)
     rate = _effective_capacity(config) * HIGH_LOAD_FRACTION
+    schemes = ("baseline", "netclone")
+    configs = [
+        replace(config, scheme=scheme, rate_rps=rate, seed=seed + run_index)
+        for scheme in schemes
+        for run_index in range(repeats)
+    ]
+    points = resolve_executor(executor, None).run_points(configs)
     out: Dict[str, Tuple[float, float]] = {}
-    for scheme in ("baseline", "netclone"):
-        p99s = []
-        for run_index in range(repeats):
-            point = run_point(
-                replace(config, scheme=scheme, rate_rps=rate, seed=seed + run_index)
-            )
-            p99s.append(point.p99_us)
+    for index, scheme in enumerate(schemes):
+        p99s = [p.p99_us for p in points[index * repeats : (index + 1) * repeats]]
         out[scheme] = (float(np.mean(p99s)), float(np.std(p99s)))
     return out
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 13 and return the formatted report."""
-    empty = collect_empty_queue(scale, seed)
+    executor = SweepExecutor(jobs=jobs)
+    empty = collect_empty_queue(scale, seed, executor=executor)
     repeats = REPEATS if scale >= 1.0 else max(3, int(REPEATS * scale))
-    stats = collect_repeated_p99(scale, seed, repeats=repeats)
+    stats = collect_repeated_p99(scale, seed, repeats=repeats, executor=executor)
     lines = ["== Figure 13 (a): portion of empty queues vs offered load =="]
     lines.append(
         format_table(
@@ -132,5 +145,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig13", "confidence of the empty-queue state signal")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

@@ -32,7 +32,7 @@ NUM_SERVERS = 6
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, SweepResult]:
+def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, SweepResult]:
     """The three curves keyed by scheme."""
     spec = make_synthetic_spec("exp", mean_us=25.0)
     config = scaled_config(
@@ -46,12 +46,12 @@ def collect(scale: float = 1.0, seed: int = 1) -> Dict[str, SweepResult]:
     )
     capacity = capacity_rps(NUM_SERVERS * WORKERS, spec.mean_service_ns)
     loads = load_grid(capacity, scale)
-    return sweep_schemes(config, SCHEMES, loads)
+    return sweep_schemes(config, SCHEMES, loads, jobs=jobs)
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Run Figure 15 and return the formatted report."""
-    series = collect(scale, seed)
+    series = collect(scale, seed, jobs=jobs)
     points = series["baseline"].points
     high = points[max(0, len(points) - 3)].offered_rps
     low = series["baseline"].points[0].offered_rps
@@ -72,5 +72,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig15", "ablation: redundant response filtering on/off")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

@@ -74,8 +74,13 @@ def collect(
     return monitor.window_starts_sec()[: len(rates_krps)], rates_krps, stats
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
-    """Run Figure 16 and return the formatted report."""
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    """Run Figure 16 and return the formatted report.
+
+    *jobs* is accepted for CLI symmetry but unused: the figure is one
+    continuous timeline with mid-run failure injection, so there is no
+    independent-point batch to fan out.
+    """
     starts, rates, stats = collect(scale, seed)
     lines = ["== Figure 16: throughput under a switch failure =="]
     lines.append(
@@ -106,5 +111,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("fig16", "throughput timeline across a switch failure and recovery")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     return run(scale, seed)

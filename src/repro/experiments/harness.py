@@ -10,13 +10,18 @@ runs, and full reproductions.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.common import ClusterConfig, run_sweep
-from repro.metrics.sweep import SweepResult
+from repro.experiments.executor import SweepExecutor, resolve_executor
+from repro.experiments.schemes import get_scheme
+from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.sim.units import ms
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_FRACTIONS",
@@ -68,9 +73,35 @@ def sweep_schemes(
     config: ClusterConfig,
     schemes: Sequence[str],
     loads: Sequence[float],
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, SweepResult]:
-    """One curve per scheme over the same load grid."""
-    return {scheme: run_sweep(config, loads, scheme=scheme) for scheme in schemes}
+    """One curve per scheme over the same load grid.
+
+    The whole scheme × load grid is flattened into one batch so a
+    parallel executor keeps every worker busy across curves, not just
+    within one; the serial default matches ``run_sweep`` per scheme.
+    """
+    chosen = resolve_executor(executor, jobs)
+    schemes = list(schemes)
+    canonical = [get_scheme(scheme).name for scheme in schemes]
+    loads = list(loads)
+    point_configs = [
+        replace(config, scheme=name, rate_rps=rate)
+        for name in canonical
+        for rate in loads
+    ]
+    points: List[LoadPoint] = chosen.run_points(point_configs)
+    # Results are keyed by the names the caller passed (aliases intact);
+    # the curve labels use the canonical names the configs resolved to.
+    results: Dict[str, SweepResult] = {}
+    per_scheme = len(loads)
+    for index, (key, name) in enumerate(zip(schemes, canonical)):
+        result = SweepResult(scheme=name, workload=config.workload.name)
+        for point in points[index * per_scheme : (index + 1) * per_scheme]:
+            result.add(point)
+        results[key] = result
+    return results
 
 
 def format_series(
@@ -90,8 +121,10 @@ def format_series(
         try:
             lines.append(render_sweeps(list(series.values())))
             lines.append("")
-        except Exception:  # a panel with no samples is not chartable
-            pass
+        except ExperimentError:
+            pass  # a panel with no samples is not chartable; omit the chart
+        except Exception:
+            _LOG.exception("chart rendering failed for %r; omitting the chart", title)
     if notes:
         lines.append("shape checks:")
         lines.extend(f"  - {note}" for note in notes)

@@ -1,9 +1,11 @@
 """Experiment registry: IDs → harness entry points.
 
-Each entry point is ``run(scale: float, seed: int) -> str`` returning
-the formatted report it also prints.  ``scale`` shrinks measurement
-windows (and sweep densities) so the same harness serves quick smoke
-runs, benchmarks, and full reproductions.
+Each entry point is ``run(scale: float, seed: int, jobs: int) -> str``
+returning the formatted report it also prints.  ``scale`` shrinks
+measurement windows (and sweep densities) so the same harness serves
+quick smoke runs, benchmarks, and full reproductions; ``jobs`` is the
+sweep worker-process count (the CLI passes it to every harness, so
+registered entry points must accept it even if they ignore it).
 """
 
 from __future__ import annotations

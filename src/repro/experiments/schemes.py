@@ -1,0 +1,399 @@
+"""Scheme plugin registry.
+
+A *scheme* is everything that varies between load-balancing/cloning
+variants when a cluster is assembled: which client class to build,
+whether the switch runs a program (and which), whether a coordinator
+host exists, and any post-build adjustments.  :class:`SchemeSpec`
+bundles those choices declaratively and the registry maps scheme names
+(and aliases) to specs, so :class:`~repro.experiments.common.Cluster`
+is generic assembly code and new schemes are self-registering plugins.
+
+Registering a scheme::
+
+    from repro.experiments.schemes import SchemeSpec, register_scheme
+
+    @register_scheme
+    def _my_scheme() -> SchemeSpec:
+        return SchemeSpec(
+            name="my-scheme",
+            description="one line for `repro-netclone schemes`",
+            make_client=lambda ctx, common: MyClient(
+                server_ips=ctx.server_ips, **common
+            ),
+        )
+
+``register_scheme`` also accepts a :class:`SchemeSpec` directly.  The
+paper's eight schemes are registered at the bottom of this module;
+extra plugin modules listed in :data:`PLUGIN_MODULES` are imported
+lazily on first lookup so they never burden import time.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "PLUGIN_MODULES",
+    "SchemeContext",
+    "SchemeSpec",
+    "describe_schemes",
+    "get_scheme",
+    "iter_schemes",
+    "register_scheme",
+    "registered_modules",
+    "scheme_names",
+    "unregister_scheme",
+]
+
+#: Modules imported lazily on registry access so self-registering
+#: plugin schemes that live outside this package become visible without
+#: the core ever importing them eagerly (or them importing the core).
+#: Append to this list at any time; not-yet-imported entries load on
+#: the next lookup.
+PLUGIN_MODULES: List[str] = ["repro.baselines.jsq_d"]
+
+
+@dataclass
+class SchemeContext:
+    """Build-time state handed to every :class:`SchemeSpec` hook.
+
+    ``cluster`` is the partially built
+    :class:`~repro.experiments.common.Cluster` (its ``sim``, ``rngs``,
+    ``topology``, ``servers`` and ``switch`` are available); ``config``
+    is its :class:`~repro.experiments.common.ClusterConfig`.
+    """
+
+    cluster: Any
+    config: Any
+    server_ips: List[int] = field(default_factory=list)
+    coordinator_ip: Optional[int] = None
+    program: Optional[Any] = None
+
+
+@dataclass
+class SchemeSpec:
+    """Declarative description of one load-balancing/cloning scheme.
+
+    Only ``name``, ``description`` and ``make_client`` are mandatory;
+    everything else defaults to the plain ``baseline`` shape (no
+    switch program, no coordinator, servers speak plain RPC).
+    """
+
+    #: Canonical scheme name (what ``ClusterConfig.scheme`` normalises to).
+    name: str
+    #: One-line description shown by ``repro-netclone schemes``.
+    description: str
+    #: ``(ctx, common) -> OpenLoopClient`` — build one client; *common*
+    #: carries the shared constructor kwargs (sim, name, ip, workload,
+    #: rate, recorder, rng, ...).
+    make_client: Callable[[SchemeContext, Dict[str, Any]], Any]
+    #: Alternative lookup names.
+    aliases: Tuple[str, ...] = ()
+    #: Servers parse/emit the NetClone header and piggyback state.
+    netclone_mode: bool = False
+    #: ``ctx -> program`` installed on the ToR switch (None: plain L3).
+    make_program: Optional[Callable[[SchemeContext], Any]] = None
+    #: ``ctx -> Host`` — build the coordinator host (its IP is
+    #: pre-allocated as ``ctx.coordinator_ip`` before servers exist).
+    make_coordinator: Optional[Callable[[SchemeContext], Any]] = None
+    #: ``ctx -> None`` — run after servers/program/clients are built.
+    post_build: Optional[Callable[[SchemeContext], None]] = None
+    #: Module that registered the spec (filled in by ``register_scheme``;
+    #: used to re-import plugins inside sweep worker processes).
+    module: Optional[str] = None
+
+    @property
+    def needs_coordinator(self) -> bool:
+        """Whether the scheme deploys a coordinator host."""
+        return self.make_coordinator is not None
+
+
+_REGISTRY: Dict[str, SchemeSpec] = {}
+_ALIASES: Dict[str, str] = {}
+_loaded_plugins: set = set()
+
+
+def register_scheme(spec_or_factory):
+    """Register a scheme; usable as a decorator or called directly.
+
+    Accepts either a :class:`SchemeSpec` or a zero-argument factory
+    returning one (the decorator form).  Duplicate names or aliases
+    raise :class:`~repro.errors.ExperimentError`.
+    """
+    if isinstance(spec_or_factory, SchemeSpec):
+        spec = spec_or_factory
+    else:
+        spec = spec_or_factory()
+        if not isinstance(spec, SchemeSpec):
+            raise ExperimentError(
+                f"@register_scheme factory returned {type(spec).__name__}, "
+                "expected a SchemeSpec"
+            )
+        if spec.module is None:
+            spec.module = getattr(spec_or_factory, "__module__", None)
+    if spec.module is None:
+        spec.module = getattr(spec.make_client, "__module__", None)
+    taken = set(_REGISTRY) | set(_ALIASES)
+    for key in (spec.name, *spec.aliases):
+        if key in taken:
+            raise ExperimentError(f"scheme name {key!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec_or_factory
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a scheme (and its aliases); mainly for tests."""
+    spec = _REGISTRY.pop(name, None)
+    if spec is None:
+        raise ExperimentError(f"cannot unregister unknown scheme {name!r}")
+    for alias in spec.aliases:
+        _ALIASES.pop(alias, None)
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """The spec registered under *name* (aliases resolve)."""
+    _ensure_plugins()
+    canonical = _ALIASES.get(name, name)
+    spec = _REGISTRY.get(canonical)
+    if spec is None:
+        raise ExperimentError(
+            f"unknown scheme {name!r}; choose one of {scheme_names()}"
+        )
+    return spec
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """Canonical names of every registered scheme, in registration order."""
+    _ensure_plugins()
+    return tuple(_REGISTRY)
+
+
+def iter_schemes() -> List[SchemeSpec]:
+    """Every registered spec, in registration order."""
+    _ensure_plugins()
+    return list(_REGISTRY.values())
+
+
+def describe_schemes() -> List[str]:
+    """``name — description`` lines (aliases in parentheses)."""
+    lines = []
+    for spec in iter_schemes():
+        alias_note = f" (aka {', '.join(spec.aliases)})" if spec.aliases else ""
+        lines.append(f"{spec.name}{alias_note} — {spec.description}")
+    return lines
+
+
+def registered_modules() -> Tuple[str, ...]:
+    """Modules that registered schemes (for sweep worker re-imports)."""
+    _ensure_plugins()
+    modules = {spec.module for spec in _REGISTRY.values() if spec.module}
+    return tuple(sorted(modules))
+
+
+def _ensure_plugins() -> None:
+    """Import each plugin module once so its registrations run.
+
+    Modules are tracked individually (not a one-shot flag), so entries
+    appended to :data:`PLUGIN_MODULES` after the first lookup still
+    load on the next one.  A broken plugin must not take down lookups
+    of healthy schemes, so each import failure is logged and skipped
+    rather than raised.
+    """
+    for module in list(PLUGIN_MODULES):
+        if module in _loaded_plugins:
+            continue
+        _loaded_plugins.add(module)
+        try:
+            importlib.import_module(module)
+        except Exception:
+            logging.getLogger(__name__).exception(
+                "scheme plugin module %s failed to import; its schemes "
+                "will be missing from the registry",
+                module,
+            )
+
+
+# ----------------------------------------------------------------------
+# The paper's schemes.  Client/program classes are imported inside the
+# hooks: specs are looked up long after import time, and this keeps the
+# registry importable from plugin modules without cycles.
+# ----------------------------------------------------------------------
+def _baseline_client(ctx: SchemeContext, common: Dict[str, Any]):
+    from repro.baselines.random_lb import BaselineClient
+
+    return BaselineClient(server_ips=ctx.server_ips, **common)
+
+
+def _cclone_client(ctx: SchemeContext, common: Dict[str, Any]):
+    from repro.baselines.cclone import CCloneClient
+
+    return CCloneClient(server_ips=ctx.server_ips, **common)
+
+
+def _laedge_client(ctx: SchemeContext, common: Dict[str, Any]):
+    from repro.baselines.laedge import LaedgeClient
+
+    return LaedgeClient(coordinator_ip=ctx.coordinator_ip, **common)
+
+
+def _laedge_coordinator(ctx: SchemeContext):
+    from repro.baselines.laedge import LaedgeCoordinator
+
+    config = ctx.config
+    slots = config.laedge_slots_per_server
+    if slots is None:
+        slots = max(config.worker_counts())
+    return LaedgeCoordinator(
+        ctx.cluster.sim,
+        name="coordinator",
+        ip=ctx.coordinator_ip,
+        server_ips=list(ctx.server_ips),
+        rng=ctx.cluster.rngs.stream("coordinator"),
+        slots_per_server=slots,
+        cpu_cost_ns=config.coordinator_cpu_ns,
+    )
+
+
+def _netclone_client(ctx: SchemeContext, common: Dict[str, Any]):
+    from repro.core.client import NetCloneClient
+
+    if ctx.program is None:
+        raise ExperimentError(
+            f"scheme {ctx.config.scheme!r} builds NetClone clients but "
+            "installed no switch program"
+        )
+    return NetCloneClient(
+        num_groups=ctx.program.num_groups,
+        num_filter_tables=ctx.config.num_filter_tables,
+        **common,
+    )
+
+
+def _program_kwargs(ctx: SchemeContext) -> Dict[str, Any]:
+    return dict(
+        server_ips=list(ctx.server_ips),
+        num_filter_tables=ctx.config.num_filter_tables,
+        filter_slots=ctx.config.filter_slots,
+    )
+
+
+def _netclone_program(ctx: SchemeContext):
+    from repro.core.program import NetCloneProgram
+
+    return NetCloneProgram(**_program_kwargs(ctx))
+
+
+def _netclone_nofilter_program(ctx: SchemeContext):
+    from repro.core.program import NetCloneProgram
+
+    return NetCloneProgram(filtering_enabled=False, **_program_kwargs(ctx))
+
+
+def _racksched_program(ctx: SchemeContext):
+    from repro.core.racksched import RackSchedProgram
+
+    return RackSchedProgram(**_program_kwargs(ctx))
+
+
+def _netclone_racksched_program(ctx: SchemeContext):
+    from repro.core.racksched import NetCloneRackSchedProgram
+
+    return NetCloneRackSchedProgram(**_program_kwargs(ctx))
+
+
+def _accept_stale_clones(ctx: SchemeContext) -> None:
+    # Ablation: keep state piggybacking but accept stale clones.
+    for server in ctx.cluster.servers:
+        server.drop_stale_clones = False
+
+
+register_scheme(
+    SchemeSpec(
+        name="baseline",
+        description="random server choice, no cloning (plain L3 switch)",
+        make_client=_baseline_client,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="cclone",
+        description="static client-side cloning, d = 2",
+        make_client=_cclone_client,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="laedge",
+        description="coordinator-based dynamic cloning",
+        make_client=_laedge_client,
+        make_coordinator=_laedge_coordinator,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="netclone",
+        description="NetClone switch program (cloning + filtering)",
+        make_client=_netclone_client,
+        netclone_mode=True,
+        make_program=_netclone_program,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="netclone-nofilter",
+        description="NetClone with response filtering disabled (Fig. 15)",
+        make_client=_netclone_client,
+        netclone_mode=True,
+        make_program=_netclone_nofilter_program,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="netclone-noclonedrop",
+        description="NetClone without the server-side stale-clone drop",
+        make_client=_netclone_client,
+        netclone_mode=True,
+        make_program=_netclone_program,
+        post_build=_accept_stale_clones,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="racksched",
+        description="switch JSQ power-of-two, no cloning",
+        make_client=_netclone_client,
+        netclone_mode=True,
+        make_program=_racksched_program,
+        module=__name__,
+    )
+)
+
+register_scheme(
+    SchemeSpec(
+        name="netclone-racksched",
+        description="NetClone + RackSched integration (§3.7)",
+        make_client=_netclone_client,
+        netclone_mode=True,
+        make_program=_netclone_racksched_program,
+        module=__name__,
+    )
+)

@@ -9,6 +9,7 @@ stream and every server its own store replica.
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import Optional, Sequence, Tuple
 
 from repro.apps.service import KvService, ServiceModel, SyntheticService
@@ -67,11 +68,13 @@ def make_synthetic_spec(
     ``kind`` is ``"exp"`` (Exp(mean)) or ``"bimodal"`` (defaults to the
     paper's 90 %-25 µs / 10 %-250 µs mix when *modes* is omitted).
     """
+    # partial() rather than a lambda keeps the spec picklable, so
+    # configs embedding it can cross SweepExecutor process boundaries.
     if kind == "exp":
-        return SyntheticSpec(lambda: ExponentialDistribution(mean_us))
+        return SyntheticSpec(partial(ExponentialDistribution, mean_us))
     if kind == "bimodal":
         chosen = tuple(modes) if modes is not None else ((0.9, 25.0), (0.1, 250.0))
-        return SyntheticSpec(lambda: BimodalDistribution(chosen))
+        return SyntheticSpec(partial(BimodalDistribution, chosen))
     raise ExperimentError(f"unknown synthetic workload kind {kind!r}")
 
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict
 
-from repro.experiments.common import ClusterConfig, run_point
+from repro.experiments.common import ClusterConfig
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.harness import capacity_rps, scaled_config
 from repro.experiments.registry import register
 from repro.experiments.specs import make_synthetic_spec
@@ -29,7 +30,9 @@ def _mark(value: bool) -> str:
     return "yes" if value else "no"
 
 
-def derive_matrix(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, str]]:
+def derive_matrix(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1
+) -> Dict[str, Dict[str, str]]:
     """Measure each Table 1 property from probe runs."""
     spec = make_synthetic_spec("exp", mean_us=25.0)
     base = scaled_config(
@@ -46,11 +49,24 @@ def derive_matrix(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, str]
     capacity = capacity_rps(5 * 15, spec.mean_service_ns)
     low, high = capacity * 0.15, capacity * 0.85
 
-    baseline_low = run_point(replace(base, scheme="baseline", rate_rps=low))
+    # Every probe is an independent cluster, so the whole batch fans
+    # out through the executor at once.
+    schemes = ("cclone", "laedge", "netclone")
+    probes = [replace(base, scheme="baseline", rate_rps=low)]
+    for scheme in schemes:
+        probes.append(replace(base, scheme=scheme, rate_rps=low))
+        probes.append(replace(base, scheme=scheme, rate_rps=high))
+        # Scalability probe: the same scheme with half the servers at
+        # proportionally half the load — a scheme with no central
+        # bottleneck roughly doubles; the coordinator-bound one does not.
+        probes.append(
+            replace(base, scheme=scheme, num_servers=3, rate_rps=high * 0.5)
+        )
+    points = SweepExecutor(jobs=jobs).run_points(probes)
+    baseline_low = points[0]
     matrix: Dict[str, Dict[str, str]] = {}
-    for scheme in ("cclone", "laedge", "netclone"):
-        low_point = run_point(replace(base, scheme=scheme, rate_rps=low))
-        high_point = run_point(replace(base, scheme=scheme, rate_rps=high))
+    for index, scheme in enumerate(schemes):
+        low_point, high_point, half_high = points[1 + index * 3 : 4 + index * 3]
 
         # Dynamic cloning: redundancy rate falls as load rises.
         low_redundancy = _redundancy_rate(scheme, low_point)
@@ -60,19 +76,6 @@ def derive_matrix(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, str]
         # High throughput: sustains >=70 % of worker-pool capacity.
         high_tput = high_point.throughput_rps >= 0.7 * high
 
-        # Scalability: adding servers adds throughput.  Probe the same
-        # scheme with half the servers at proportionally half the load:
-        # a scheme with no central bottleneck roughly doubles; the
-        # coordinator-bound scheme does not.
-        half_high = run_point(
-            replace(
-                base,
-                scheme=scheme,
-                num_servers=3,
-                rate_rps=high * 0.5,
-                measure_ns=base.measure_ns,
-            )
-        )
         scalable = high_point.throughput_rps >= 1.5 * half_high.throughput_rps
 
         # Low latency overhead vs Baseline median at low load.
@@ -111,9 +114,9 @@ def _laedge_probe_rate(point) -> float:
     return 0.0 if queue > 0 else 1.0
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Derive and print Table 1."""
-    matrix = derive_matrix(scale, seed)
+    matrix = derive_matrix(scale, seed, jobs=jobs)
     properties = [
         "Cloning point",
         "Dynamic cloning",
@@ -146,5 +149,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("table1", "qualitative comparison matrix, derived from probe runs")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    return run(scale, seed, jobs=jobs)

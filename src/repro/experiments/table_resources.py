@@ -27,8 +27,8 @@ def report():
     )
 
 
-def run(scale: float = 1.0, seed: int = 1) -> str:
-    """Print the §4.1 resource rows."""
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+    """Print the §4.1 resource rows (*jobs* accepted for CLI symmetry)."""
     lines = ["== §4.1 switch resource usage (recomputed from the pipeline) =="]
     lines.extend(report().rows())
     lines.append(
@@ -40,5 +40,5 @@ def run(scale: float = 1.0, seed: int = 1) -> str:
 
 
 @register("resources", "switch ASIC resource accounting (§4.1)")
-def _run(scale: float = 1.0, seed: int = 1) -> str:
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     return run(scale, seed)

@@ -5,7 +5,8 @@ are ``(time, seq, handle)`` tuples: ``time`` orders events, ``seq`` is a
 monotonically increasing tie-breaker that guarantees FIFO ordering for
 events scheduled at the same instant, and ``handle`` carries the
 callback.  Cancellation is O(1): the handle is flagged and skipped when
-popped (lazy deletion).
+popped (lazy deletion), and the heap is compacted in one pass when
+cancelled entries come to dominate it.
 
 The callback API is deliberately minimal because it sits on the hot
 path of every simulated packet.  Higher-level conveniences (generator
@@ -29,17 +30,28 @@ class EventHandle:
     :meth:`Simulator.at`.  They are true-ish while still pending.
     """
 
-    __slots__ = ("fn", "args", "cancelled", "time")
+    __slots__ = ("fn", "args", "cancelled", "time", "sim")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
     def __bool__(self) -> bool:
         return not self.cancelled
@@ -63,7 +75,11 @@ class Simulator:
     timestamp of the next scheduled event.
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_running", "_event_count")
+    __slots__ = ("now", "_queue", "_seq", "_running", "_event_count", "_cancelled")
+
+    #: Compaction trigger: at least this many cancelled entries AND
+    #: cancelled entries making up at least half the heap.
+    COMPACT_THRESHOLD = 64
 
     def __init__(self) -> None:
         #: Current simulated time in nanoseconds.
@@ -72,6 +88,7 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._event_count = 0
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -92,10 +109,42 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at t={time} which is before now={self.now}"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, handle))
         return handle
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; compacts a heap whose
+        live entries are drowned out by lazily-deleted ones."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_THRESHOLD
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+
+    def _live_head(self) -> Optional[Tuple[int, int, EventHandle]]:
+        """The earliest non-cancelled entry, discarding dead ones.
+
+        The single place that implements lazy deletion: ``step``,
+        ``run`` and ``peek`` all funnel through it.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2].cancelled:
+                heapq.heappop(queue)
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            return entry
+        return None
 
     # ------------------------------------------------------------------
     # Execution
@@ -106,16 +155,16 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the queue was
         empty (cancelled entries are discarded silently).
         """
-        queue = self._queue
-        while queue:
-            time, _seq, handle = heapq.heappop(queue)
-            if handle.cancelled:
-                continue
-            self.now = time
-            self._event_count += 1
-            handle.fn(*handle.args)
-            return True
-        return False
+        entry = self._live_head()
+        if entry is None:
+            return False
+        heapq.heappop(self._queue)
+        time, _seq, handle = entry
+        handle.sim = None  # fired: later cancel() must not count it
+        self.now = time
+        self._event_count += 1
+        handle.fn(*handle.args)
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains or a limit is hit.
@@ -125,28 +174,27 @@ class Simulator:
         :param max_events: stop after this many events have run.
         :returns: the number of events executed by this call.
         """
-        queue = self._queue
         executed = 0
         self._running = True
         try:
-            while queue:
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
-                time, _seq, handle = queue[0]
-                if handle.cancelled:
-                    heapq.heappop(queue)
-                    continue
+                entry = self._live_head()
+                if entry is None:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                time, _seq, handle = entry
                 if until is not None and time > until:
                     self.now = until
                     break
-                heapq.heappop(queue)
+                heapq.heappop(self._queue)
+                handle.sim = None  # fired: later cancel() must not count it
                 self.now = time
                 self._event_count += 1
                 handle.fn(*handle.args)
                 executed += 1
-            else:
-                if until is not None and until > self.now:
-                    self.now = until
         finally:
             self._running = False
         return executed
@@ -166,14 +214,8 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if drained."""
-        queue = self._queue
-        while queue:
-            time, _seq, handle = queue[0]
-            if handle.cancelled:
-                heapq.heappop(queue)
-                continue
-            return time
-        return None
+        entry = self._live_head()
+        return entry[0] if entry is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now} pending={len(self._queue)}>"
