@@ -1,0 +1,15 @@
+# Developer/CI entry points.  PYTHONPATH=src because the package is
+# run from the source tree (no install step in the container).
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test smoke bench
+
+test:  ## full tier-1 suite (what the roadmap's verify line runs)
+	$(PY) -m pytest -x -q
+
+smoke:  ## fast tier: skips tests marked slow (multi-rack sweeps, wide pools)
+	$(PY) -m pytest -x -q -m "not slow"
+
+bench:  ## pytest-benchmark harnesses at reduced scale (REPRO_BENCH_SCALE=0.25)
+	$(PY) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="bench_*"

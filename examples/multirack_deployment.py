@@ -1,81 +1,50 @@
 #!/usr/bin/env python3
 """Multi-rack deployment with switch-ID gating (§3.7).
 
-Clients live in rack A, servers in rack B, joined by a trunk.  Both
-ToRs run the NetClone program, but the SWID field ensures only the
-*client-side* ToR clones, assigns request IDs and filters responses;
-the server-side ToR sees stamped packets and falls through to plain
-L3 forwarding.
+Topology is a plugin axis, just like the scheme: picking
+``topology="two_rack"`` gives clients in rack A, servers in rack B,
+joined by a trunk.  Both ToRs run the NetClone program, but the SWID
+field ensures only the *client-side* ToR clones, assigns request IDs
+and filters responses; the server-side ToR sees stamped packets and
+falls through to plain L3 forwarding.
+
+The same config runs on any registered fabric — try
+``topology="spine_leaf"`` with ``topology_params={"racks": 3,
+"spines": 2}``, or ``repro-netclone topologies`` for the list.
 
 Run:  python examples/multirack_deployment.py
 """
 
-import random
-
-from repro.apps.service import SyntheticService
-from repro.core import NetCloneClient, NetCloneProgram, RpcServer
-from repro.core.multirack import TwoRackTopology
-from repro.metrics.latency import LatencyRecorder
-from repro.sim import Simulator
+from repro.experiments.common import Cluster, ClusterConfig
 from repro.sim.units import ms
-from repro.switchsim import ProgrammableSwitch
-from repro.workloads import ExponentialDistribution, JitterModel, SyntheticWorkload
 
-NUM_SERVERS = 4
 RATE_RPS = 80e3
-HORIZON = ms(100)
 
 
 def main() -> None:
     print(__doc__)
-    sim = Simulator()
-    client_tor = ProgrammableSwitch(sim, name="tor-A")
-    server_tor = ProgrammableSwitch(sim, name="tor-B")
-    fabric = TwoRackTopology(sim, client_tor, server_tor)
-
-    jitter = JitterModel(0.01, 15.0)
-    servers = []
-    for index in range(NUM_SERVERS):
-        server = RpcServer(
-            sim,
-            name=f"srv{index + 1}",
-            ip=fabric.server_star.allocate_ip(),
-            server_id=index,
-            service=SyntheticService(),
-            jitter=jitter,
-            rng=random.Random(100 + index),
-            num_workers=8,
-        )
-        fabric.add_server(server)
-        servers.append(server)
-
-    server_ips = [server.ip for server in servers]
-    client_tor.install_program(NetCloneProgram(server_ips, switch_id=1))
-    server_tor.install_program(NetCloneProgram(server_ips, switch_id=2))
-
-    recorder = LatencyRecorder(warmup_ns=ms(10), end_ns=HORIZON)
-    client = NetCloneClient(
-        sim=sim,
-        name="client",
-        ip=fabric.client_star.allocate_ip(),
-        client_id=0,
-        workload=SyntheticWorkload(ExponentialDistribution(25.0), random.Random(1)),
+    config = ClusterConfig(
+        scheme="netclone",
+        topology="two_rack",
+        num_servers=4,
+        workers_per_server=8,
+        num_clients=1,
         rate_rps=RATE_RPS,
-        recorder=recorder,
-        rng=random.Random(2),
-        stop_at_ns=HORIZON,
-        num_groups=client_tor.program.num_groups,
+        warmup_ns=ms(10),
+        measure_ns=ms(90),
+        seed=1,
     )
-    fabric.add_client(client)
-    client.start()
-    sim.run(until=HORIZON + ms(20))
+    cluster = Cluster(config)
+    cluster.start()
+    cluster.run()
+    point = cluster.load_point()
 
-    print(f"completed requests : {recorder.completed_in_window}")
-    print(f"p50 / p99          : {recorder.p50_us():.1f} / {recorder.p99_us():.1f} us")
-    print(f"(note the extra trunk hop vs the single-rack quickstart)")
+    print(f"completed requests : {point.samples}")
+    print(f"p50 / p99          : {point.p50_us:.1f} / {point.p99_us:.1f} us")
+    print("(note the extra trunk hop vs the single-rack quickstart)")
     print()
     print("who did the NetClone work?")
-    for tor in (client_tor, server_tor):
+    for tor in cluster.tors:
         counters = tor.counters
         print(
             f"  {tor.name}: cloned={counters.get('nc_cloned')} "
@@ -83,8 +52,12 @@ def main() -> None:
             f"recirculated={counters.get('recirculated')}"
         )
     print()
-    print(f"tor-A stamped SWID=1; tor-B's gate skipped those packets, so its")
-    print(f"sequence register is untouched: {server_tor.program.seq.peek(0)}")
+    client_tor, server_tor = cluster.tors
+    print("tor1 (client side) stamped SWID=1; tor2's gate skipped those")
+    print(f"packets, so its sequence register is untouched: "
+          f"{server_tor.program.seq.peek(0)}")
+    print(f"redundant responses reaching clients: "
+          f"{point.extra['redundant_responses']:.0f} (both copies filtered)")
 
 
 if __name__ == "__main__":

@@ -10,93 +10,42 @@ switch-side RackSched JSQ.
 The module doubles as the reference example of the scheme plugin
 surface: it registers ``jsq-d3`` purely through
 :func:`~repro.experiments.schemes.register_scheme`, with zero edits to
-:mod:`repro.experiments.common`.
+:mod:`repro.experiments.common`.  The outstanding-count bookkeeping
+(including lazy staleness expiry for requests lost to queue overflow)
+is shared with bounded-random via
+:class:`~repro.baselines.tracking.OutstandingTrackingClient`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict
 
-from repro.apps.client import OpenLoopClient
-from repro.baselines.random_lb import PLAIN_RPC_PORT
+from repro.baselines.tracking import OutstandingTrackingClient
 from repro.errors import ExperimentError
 from repro.experiments.schemes import SchemeContext, SchemeSpec, register_scheme
-from repro.net.packet import Packet
 
 __all__ = ["JsqDClient"]
 
 
-class JsqDClient(OpenLoopClient):
-    """Open-loop client that joins the least-loaded of *d* random servers.
+class JsqDClient(OutstandingTrackingClient):
+    """Open-loop client that joins the least-loaded of *d* random servers."""
 
-    Requests whose packets are dropped (bounded NIC RX queues at
-    overload) never see a response, so their outstanding marks would
-    bias routing away from the affected server forever.  Entries older
-    than ``stale_after_ns`` are therefore expired lazily — insertion
-    order is send order, so the purge is O(1) amortised.  The default
-    (10 ms) is far above any plausible response latency in these
-    clusters, so only genuinely lost requests expire; lower it in step
-    with the workload's tail latency if you register a faster variant.
-    """
-
-    def __init__(
-        self,
-        *args: Any,
-        server_ips: Sequence[int],
-        d: int = 3,
-        stale_after_ns: int = 10_000_000,
-        **kwargs: Any,
-    ):
+    def __init__(self, *args: Any, d: int = 3, **kwargs: Any):
         super().__init__(*args, **kwargs)
         if d < 1:
             raise ExperimentError("JSQ(d) needs d >= 1")
-        if len(server_ips) < d:
+        if len(self.server_ips) < d:
             raise ExperimentError(
-                f"JSQ(d={d}) needs at least {d} servers, got {len(server_ips)}"
+                f"JSQ(d={d}) needs at least {d} servers, got {len(self.server_ips)}"
             )
-        self.server_ips = list(server_ips)
         self.d = d
-        self.stale_after_ns = stale_after_ns
-        self._outstanding_at: Dict[int, int] = {ip: 0 for ip in self.server_ips}
-        self._inflight_server: Dict[int, Tuple[int, int]] = {}
 
-    def _expire_stale(self) -> None:
-        deadline = self.sim.now - self.stale_after_ns
-        while self._inflight_server:
-            seq = next(iter(self._inflight_server))
-            destination, sent_at = self._inflight_server[seq]
-            if sent_at > deadline:
-                break
-            del self._inflight_server[seq]
-            self._outstanding_at[destination] -= 1
-
-    def build_packets(self, request: Any) -> List[Packet]:
-        self._expire_stale()
+    def _pick_server(self) -> int:
         candidates = self.rng.sample(self.server_ips, self.d)
         best = min(self._outstanding_at[ip] for ip in candidates)
-        destination = self.rng.choice(
+        return self.rng.choice(
             [ip for ip in candidates if self._outstanding_at[ip] == best]
         )
-        self._outstanding_at[destination] += 1
-        self._inflight_server[self._seq] = (destination, self.sim.now)
-        return [
-            Packet(
-                src=self.ip,
-                dst=destination,
-                sport=PLAIN_RPC_PORT,
-                dport=PLAIN_RPC_PORT,
-                size=self.workload.request_size(request),
-                payload=request,
-            )
-        ]
-
-    def handle(self, packet: Packet) -> None:
-        payload = packet.payload
-        if payload is not None and payload.client_id == self.client_id:
-            entry = self._inflight_server.pop(payload.client_seq, None)
-            if entry is not None:
-                self._outstanding_at[entry[0]] -= 1
-        super().handle(packet)
 
 
 def _jsq_d3_client(ctx: SchemeContext, common: Dict[str, Any]) -> JsqDClient:

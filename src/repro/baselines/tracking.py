@@ -1,0 +1,90 @@
+"""Shared base for clients that track their own outstanding requests.
+
+JSQ(d) and bounded-random both route on *local* knowledge: how many of
+this client's requests are currently outstanding at each server.  The
+bookkeeping discipline is identical and lives here once:
+
+* a per-server outstanding count, incremented on send and decremented
+  when the first response for that sequence number arrives;
+* lazy staleness expiry — requests whose packets are dropped (bounded
+  NIC RX queues at overload) never see a response, so their marks
+  would bias routing away from the affected server forever.  Entries
+  older than ``stale_after_ns`` are purged on the next send; insertion
+  order is send order, making the purge O(1) amortised.  The default
+  (10 ms) is far above any plausible response latency in these
+  clusters, so only genuinely lost requests expire; lower it in step
+  with the workload's tail latency if you register a faster variant.
+
+Subclasses implement :meth:`_pick_server` — the only thing that
+differs between the schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.apps.client import OpenLoopClient
+from repro.baselines.random_lb import PLAIN_RPC_PORT
+from repro.errors import ExperimentError
+from repro.net.packet import Packet
+
+__all__ = ["OutstandingTrackingClient"]
+
+
+class OutstandingTrackingClient(OpenLoopClient):
+    """Open-loop client routing on its own outstanding-request counts."""
+
+    def __init__(
+        self,
+        *args: Any,
+        server_ips: Sequence[int],
+        stale_after_ns: int = 10_000_000,
+        **kwargs: Any,
+    ):
+        super().__init__(*args, **kwargs)
+        if not server_ips:
+            raise ExperimentError("client needs at least one server")
+        self.server_ips = list(server_ips)
+        self.stale_after_ns = stale_after_ns
+        self._outstanding_at: Dict[int, int] = {ip: 0 for ip in self.server_ips}
+        self._inflight_server: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _pick_server(self) -> int:
+        """The destination for the next request; scheme-specific."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _expire_stale(self) -> None:
+        deadline = self.sim.now - self.stale_after_ns
+        while self._inflight_server:
+            seq = next(iter(self._inflight_server))
+            destination, sent_at = self._inflight_server[seq]
+            if sent_at > deadline:
+                break
+            del self._inflight_server[seq]
+            self._outstanding_at[destination] -= 1
+
+    def build_packets(self, request: Any) -> List[Packet]:
+        self._expire_stale()
+        destination = self._pick_server()
+        self._outstanding_at[destination] += 1
+        self._inflight_server[self._seq] = (destination, self.sim.now)
+        return [
+            Packet(
+                src=self.ip,
+                dst=destination,
+                sport=PLAIN_RPC_PORT,
+                dport=PLAIN_RPC_PORT,
+                size=self.workload.request_size(request),
+                payload=request,
+            )
+        ]
+
+    def handle(self, packet: Packet) -> None:
+        payload = packet.payload
+        if payload is not None and payload.client_id == self.client_id:
+            entry = self._inflight_server.pop(payload.client_seq, None)
+            if entry is not None:
+                self._outstanding_at[entry[0]] -= 1
+        super().handle(packet)

@@ -4,7 +4,9 @@ Examples::
 
     repro-netclone --list
     repro-netclone schemes
+    repro-netclone topologies
     repro-netclone fig7 --scale 0.25 --jobs 4
+    repro-netclone run fig17 --topology spine_leaf --jobs 4
     repro-netclone fig16 resources --seed 7
 """
 
@@ -16,6 +18,7 @@ from typing import List, Optional
 
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.schemes import describe_schemes
+from repro.experiments.topologies import describe_topologies, get_topology
 
 __all__ = ["main"]
 
@@ -29,8 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (fig7..fig16, table1, resources), or "
-        "'schemes' to list the registered schemes",
+        help="experiment ids to run (fig7..fig17, table1, resources), "
+        "'schemes' to list the registered schemes, or 'topologies' to "
+        "list the registered fabrics (an optional leading 'run' is "
+        "accepted and ignored)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -49,26 +54,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="sweep points in N parallel worker processes (0 = all CPU cores)",
     )
+    parser.add_argument(
+        "--topology",
+        "-t",
+        default=None,
+        help="fabric to run on (see 'topologies'; default: each "
+        "experiment's own, usually the single-rack star)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.list or not args.experiments:
+    experiments = list(args.experiments)
+    if experiments and experiments[0] == "run":
+        experiments = experiments[1:]
+    if args.topology is not None:
+        # Fail fast (and normalise aliases) before any experiment runs.
+        args.topology = get_topology(args.topology).name
+    if args.list or not experiments:
         print("available experiments:")
         for line in list_experiments():
             print(f"  {line}")
         print("  schemes — list registered load-balancing/cloning schemes")
+        print("  topologies — list registered fabric layouts")
         return 0
-    for experiment_id in args.experiments:
+    for experiment_id in experiments:
         if experiment_id == "schemes":
             print("registered schemes:")
             for line in describe_schemes():
                 print(f"  {line}")
             continue
+        if experiment_id == "topologies":
+            print("registered topologies:")
+            for line in describe_topologies():
+                print(f"  {line}")
+            continue
         harness = get_experiment(experiment_id)
-        harness(scale=args.scale, seed=args.seed, jobs=args.jobs)
+        harness(
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            topology=args.topology,
+        )
     return 0
 
 

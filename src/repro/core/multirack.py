@@ -1,4 +1,4 @@
-"""Multi-rack deployment support (§3.7).
+"""Multi-rack deployment support (§3.7) — compatibility surface.
 
 NetClone targets a single rack, but §3.7 sketches multi-rack
 deployment: only ToR switches run NetClone logic, the client-side ToR
@@ -6,24 +6,32 @@ stamps its switch ID into the SWID field, and every other NetClone
 switch skips packets whose SWID is set and does not match its own ID
 (the gate lives in ``NetCloneProgram.matches``).
 
-:class:`TwoRackTopology` builds the smallest such fabric: a client
-rack and a server rack joined by a trunk link, with routes installed
-so that plain L3 forwarding carries NetClone packets across racks.
+The wiring itself now lives in the generic fabric layer
+(:class:`repro.net.topology.TwoRackFabric` and friends) and multi-rack
+experiments run through the topology plugin registry
+(:mod:`repro.experiments.topologies`) — e.g.
+``ClusterConfig(topology="two_rack")`` — so they compose with the
+scheme registry, :class:`~repro.experiments.executor.SweepExecutor`
+and every figure harness.  :class:`TwoRackTopology` remains as a thin
+shim over the fabric for code that assembles testbeds by hand.
 """
 
 from __future__ import annotations
 
 from repro.net.host import Host
-from repro.net.link import Link
-from repro.net.topology import StarTopology
+from repro.net.topology import StarTopology, TwoRackFabric
 from repro.sim.core import Simulator
 from repro.switchsim.switch import ProgrammableSwitch
 
 __all__ = ["TwoRackTopology"]
 
 
-class TwoRackTopology:
-    """Two ToR switches joined by a trunk; clients on A, servers on B."""
+class TwoRackTopology(TwoRackFabric):
+    """Two ToR switches joined by a trunk; clients on A, servers on B.
+
+    Thin adapter keeping the historical constructor (pre-built
+    switches) and accessors on top of :class:`TwoRackFabric`.
+    """
 
     def __init__(
         self,
@@ -33,32 +41,43 @@ class TwoRackTopology:
         trunk_propagation_ns: int = 1000,
         trunk_bandwidth_bps: float = 400e9,
     ):
-        self.sim = sim
-        self.client_switch = client_switch
-        self.server_switch = server_switch
-        self.uplink_port_a = client_switch.num_ports - 1
-        self.uplink_port_b = server_switch.num_ports - 1
-        self.trunk = Link(
+        provided = iter((client_switch, server_switch))
+        super().__init__(
             sim,
-            client_switch,
-            server_switch,
-            propagation_ns=trunk_propagation_ns,
-            bandwidth_bps=trunk_bandwidth_bps,
-            name="trunk",
+            make_switch=lambda name: next(provided),
+            trunk_propagation_ns=trunk_propagation_ns,
+            trunk_bandwidth_bps=trunk_bandwidth_bps,
         )
-        client_switch.connect(self.uplink_port_a, self.trunk)
-        server_switch.connect(self.uplink_port_b, self.trunk)
-        self.client_star = StarTopology(sim, client_switch, subnet="10.0.1.0")
-        self.server_star = StarTopology(sim, server_switch, subnet="10.0.2.0")
+
+    # -- historical accessors ------------------------------------------
+    @property
+    def client_switch(self) -> ProgrammableSwitch:
+        return self.tors[0]
+
+    @property
+    def server_switch(self) -> ProgrammableSwitch:
+        return self.tors[1]
+
+    @property
+    def client_star(self) -> StarTopology:
+        return self.stars[0]
+
+    @property
+    def server_star(self) -> StarTopology:
+        return self.stars[1]
+
+    @property
+    def uplink_port_a(self) -> int:
+        return self.uplink_ports[0]
+
+    @property
+    def uplink_port_b(self) -> int:
+        return self.uplink_ports[1]
 
     def add_client(self, host: Host) -> int:
         """Attach a client to rack A; rack B learns the return route."""
-        port = self.client_star.add_host(host)
-        self.server_switch.install_route(host.ip, self.uplink_port_b)
-        return port
+        return self.attach(host, "client", len(self.stars[0].hosts))
 
     def add_server(self, host: Host) -> int:
         """Attach a server to rack B; rack A learns the forward route."""
-        port = self.server_star.add_host(host)
-        self.client_switch.install_route(host.ip, self.uplink_port_a)
-        return port
+        return self.attach(host, "server", len(self.stars[1].hosts))

@@ -1,10 +1,23 @@
 """Experiment harnesses: one module per paper figure/table.
 
-Each module exposes a ``run(scale=1.0, seed=..., jobs=1)`` function
-returning a structured result and prints the same rows/series the
-paper reports.  The registry maps experiment IDs (``fig7``, ``fig13``,
-``table1``, ...) to those entry points; ``python -m repro <id>`` runs
-one, and ``--jobs N`` fans the sweep points out over worker processes.
+Each module exposes a ``run(scale=1.0, seed=..., jobs=1,
+topology=None)`` function returning a structured result and prints
+the same rows/series the paper reports.  The registry maps experiment
+IDs (``fig7``, ``fig13``, ``table1``, ...) to those entry points;
+``python -m repro <id>`` runs one, ``--jobs N`` fans the sweep points
+out over worker processes, and ``--topology NAME`` re-runs it on any
+registered fabric.
+
+Cluster assembly is generic over **two** plugin axes that compose
+freely:
+
+* **scheme** (:mod:`repro.experiments.schemes`) — what runs: the
+  client class, the switch program, an optional coordinator;
+* **topology** (:mod:`repro.experiments.topologies`) — what it runs
+  on: single-rack star, two-rack trunk, spine-leaf Clos, or any
+  registered fabric.  The scheme's switch program is installed once
+  per ToR with that rack's §3.7 switch ID, so ToR-only cloning works
+  on every fabric.
 
 Adding a scheme
 ---------------
@@ -31,10 +44,33 @@ Schemes are plugins — no edits to :mod:`repro.experiments.common`:
    your driver script) and run
    ``run_sweep(ClusterConfig(scheme="my-scheme"), loads)``.
 
-Optional ``SchemeSpec`` hooks add a switch program (``make_program``),
-a coordinator host (``make_coordinator``), NetClone-speaking servers
-(``netclone_mode``) and post-assembly tweaks (``post_build``).
-:mod:`repro.baselines.jsq_d` is a complete ~30-line example.
+Optional ``SchemeSpec`` hooks add a switch program (``make_program``;
+called once per ToR with ``ctx.switch_id`` set to the rack's §3.7
+switch ID), a coordinator host (``make_coordinator``),
+NetClone-speaking servers (``netclone_mode``) and post-assembly
+tweaks (``post_build``).  :mod:`repro.baselines.jsq_d` and
+:mod:`repro.baselines.bounded_random` are complete examples.
+
+Adding a topology
+-----------------
+Topologies are plugins too.  Implement a fabric (subclass
+:class:`repro.net.topology.Fabric`: per-rack stars plus inter-rack
+wiring and a role→rack placement policy), then register it::
+
+    from repro.experiments.topologies import TopologySpec, register_topology
+
+    @register_topology
+    def _my_fabric() -> TopologySpec:
+        return TopologySpec(
+            name="my-fabric",
+            description="shown by `repro-netclone topologies`",
+            make_fabric=lambda ctx: MyFabric(ctx.sim, ctx.make_switch),
+        )
+
+and run ``ClusterConfig(scheme=..., topology="my-fabric")`` — every
+registered scheme, sweep and figure harness picks it up unchanged.
+Fabric knobs travel in ``ClusterConfig.topology_params`` (e.g.
+``{"racks": 3, "spines": 2}`` for ``spine_leaf``).
 """
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
@@ -45,14 +81,26 @@ from repro.experiments.schemes import (
     register_scheme,
     scheme_names,
 )
+from repro.experiments.topologies import (
+    TopologySpec,
+    describe_topologies,
+    get_topology,
+    register_topology,
+    topology_names,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "SchemeSpec",
+    "TopologySpec",
     "describe_schemes",
+    "describe_topologies",
     "get_experiment",
     "get_scheme",
+    "get_topology",
     "list_experiments",
     "register_scheme",
+    "register_topology",
     "scheme_names",
+    "topology_names",
 ]

@@ -1,17 +1,22 @@
 """Cluster construction and measurement driver.
 
-This module turns a :class:`ClusterConfig` into a simulated testbed
-matching §5.1.1 — one ToR switch, client hosts, worker servers (plus a
-coordinator host when the scheme deploys one) — runs it, and reduces
-the run to a :class:`~repro.metrics.sweep.LoadPoint`.
+This module turns a :class:`ClusterConfig` into a simulated testbed —
+the fabric (ToR switches, optionally spines), client hosts, worker
+servers (plus a coordinator host when the scheme deploys one) — runs
+it, and reduces the run to a :class:`~repro.metrics.sweep.LoadPoint`.
 
-Schemes are **not** hardcoded here: :class:`Cluster` is generic
-assembly driven by the scheme plugin registry in
-:mod:`repro.experiments.schemes`.  ``repro-netclone schemes`` lists
-every registered scheme with its one-line description, and new schemes
-self-register from their own modules (see the how-to in
-:mod:`repro.experiments`) without touching this file.  ``SCHEMES``
-below is derived from the registry.
+Neither schemes nor topologies are hardcoded here: :class:`Cluster`
+is generic assembly driven by two plugin registries —
+:mod:`repro.experiments.schemes` (what runs: clients, switch
+programs, coordinators) and :mod:`repro.experiments.topologies` (what
+it runs on: single-rack star, two-rack trunk, spine-leaf Clos).  Any
+scheme composes with any topology: the scheme's switch program is
+installed once per ToR with that rack's §3.7 switch ID, so the SWID
+gate keeps exactly one ToR responsible for each client's requests.
+``repro-netclone schemes`` / ``repro-netclone topologies`` list both
+axes, and new entries self-register from their own modules (see the
+how-to in :mod:`repro.experiments`) without touching this file.
+``SCHEMES`` below is derived from the registry.
 """
 
 from __future__ import annotations
@@ -24,14 +29,14 @@ from repro.errors import ExperimentError
 from repro.experiments.executor import SweepExecutor, resolve_executor
 from repro.experiments.schemes import SchemeContext, SchemeSpec, get_scheme, scheme_names
 from repro.experiments.specs import WorkloadSpec, make_synthetic_spec
+from repro.experiments.topologies import TopologyContext, TopologySpec, get_topology
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.net.host import Host
-from repro.net.topology import StarTopology
+from repro.net.topology import Fabric
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.units import ms
-from repro.switchsim.switch import ProgrammableSwitch
 from repro.workloads.distributions import JitterModel
 
 __all__ = ["Cluster", "ClusterConfig", "SCHEMES", "run_point", "run_sweep"]
@@ -50,6 +55,12 @@ class ClusterConfig:
     """Everything needed to build and measure one operating point."""
 
     scheme: str = "netclone"
+    #: Registered fabric name; None means the default single-rack star
+    #: (so harnesses can pass an optional CLI override straight through).
+    topology: Optional[str] = "star"
+    #: Free-form knobs for the topology builder (e.g. ``racks``,
+    #: ``spines`` for ``spine_leaf``; rack placement for ``two_rack``).
+    topology_params: Dict[str, Any] = field(default_factory=dict)
     workload: Optional[WorkloadSpec] = None
     num_servers: int = 6
     workers_per_server: Union[int, Sequence[int]] = 15
@@ -83,6 +94,7 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         # Resolves aliases and raises ExperimentError on unknown names.
         self.scheme = get_scheme(self.scheme).name
+        self.topology = get_topology(self.topology or "star").name
         if self.workload is None:
             self.workload = make_synthetic_spec("exp", mean_us=25.0)
         if self.num_servers < 2:
@@ -116,24 +128,30 @@ class ClusterConfig:
 
 
 class Cluster:
-    """A built testbed, ready to run."""
+    """A built testbed, ready to run.
+
+    ``topology`` is the registry-built :class:`~repro.net.topology.Fabric`;
+    ``switch`` remains the primary (first) ToR for single-rack code and
+    counter drills, while ``tors``/``switches`` expose the whole fabric.
+    """
 
     def __init__(self, config: ClusterConfig):
         self.config = config
         self.scheme_spec: SchemeSpec = get_scheme(config.scheme)
+        self.topology_spec: TopologySpec = get_topology(config.topology)
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
         self.recorder = LatencyRecorder(warmup_ns=config.warmup_ns, end_ns=config.end_ns)
-        self.switch = ProgrammableSwitch(
-            self.sim,
-            name="tor",
-            pipeline_latency_ns=config.switch_pipeline_ns,
-            recirc_latency_ns=config.switch_recirc_ns,
+        self.topology: Fabric = self.topology_spec.make_fabric(
+            TopologyContext(sim=self.sim, config=config)
         )
-        self.topology = StarTopology(self.sim, self.switch)
+        self.tors: List[Any] = list(self.topology.tors)
+        self.switches: List[Any] = list(self.topology.switches)
+        self.switch = self.tors[0]
         self.servers: List[Any] = []
         self.clients: List[OpenLoopClient] = []
         self.coordinator: Optional[Host] = None
+        self.programs: List[Any] = []
         self.program: Optional[Any] = None
         self._build()
 
@@ -143,20 +161,21 @@ class Cluster:
 
         config = self.config
         spec = self.scheme_spec
+        fabric = self.topology
         jitter = JitterModel(config.jitter_p, config.jitter_factor)
         context = SchemeContext(cluster=self, config=config)
 
         # A coordinator's address must exist before servers (they
         # redirect their responses to it).
         if spec.needs_coordinator:
-            context.coordinator_ip = self.topology.allocate_ip()
+            context.coordinator_ip = fabric.allocate_ip("coordinator", 0)
 
         worker_counts = config.worker_counts()
         for index in range(config.num_servers):
             server = RpcServer(
                 self.sim,
                 name=f"srv{index + 1}",
-                ip=self.topology.allocate_ip(),
+                ip=fabric.allocate_ip("server", index),
                 server_id=index,
                 service=config.workload.make_service(index),
                 jitter=jitter,
@@ -167,25 +186,33 @@ class Cluster:
                 tx_cost_ns=config.server_tx_ns,
                 rx_cost_ns=config.server_rx_ns,
             )
-            self.topology.add_host(server)
+            fabric.attach(server, "server", index)
             self.servers.append(server)
         context.server_ips = [server.ip for server in self.servers]
 
         if spec.make_coordinator is not None:
             self.coordinator = spec.make_coordinator(context)
-            self.topology.add_host(self.coordinator)
+            fabric.attach(self.coordinator, "coordinator", 0)
 
         if spec.make_program is not None:
-            self.program = spec.make_program(context)
+            # One program instance per ToR (registers are per switch);
+            # the 1-based rack number is the §3.7 switch ID the SWID
+            # gate compares against.
+            for rack, tor in enumerate(self.tors):
+                context.switch_id = rack + 1
+                program = spec.make_program(context)
+                tor.install_program(program)
+                self.programs.append(program)
+            context.switch_id = 1
+            self.program = self.programs[0]
             context.program = self.program
-            self.switch.install_program(self.program)
 
         per_client_rate = config.rate_rps / config.num_clients
         for index in range(config.num_clients):
             common = dict(
                 sim=self.sim,
                 name=f"client{index + 1}",
-                ip=self.topology.allocate_ip(),
+                ip=fabric.allocate_ip("client", index),
                 client_id=index,
                 workload=config.workload.make_workload(
                     self.rngs.stream(f"workload{index}")
@@ -198,7 +225,7 @@ class Cluster:
                 rx_cost_ns=config.client_rx_ns,
             )
             client = spec.make_client(context, common)
-            self.topology.add_host(client)
+            fabric.attach(client, "client", index)
             self.clients.append(client)
 
         if spec.post_build is not None:
@@ -236,7 +263,9 @@ class Cluster:
             ),
         }
         for key in ("nc_cloned", "nc_filtered", "nc_fingerprint_overwrite"):
-            extra[key] = float(self.switch.counters.get(key))
+            extra[key] = float(
+                sum(switch.counters.get(key) for switch in self.switches)
+            )
         queue_len = getattr(self.coordinator, "queue_len", None)
         if queue_len is not None:
             extra["coordinator_queue"] = float(queue_len)
@@ -274,21 +303,29 @@ def run_sweep(
     scheme: Optional[str] = None,
     jobs: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    topology: Optional[str] = None,
 ) -> SweepResult:
     """Measure one throughput-latency curve.
 
     *config* provides everything but the rate (and optionally the
-    scheme); each load re-runs an independent cluster with the same
-    seed so curves differ only in offered load.  With ``jobs > 1`` (or
-    an explicit *executor*) the points run in parallel worker
-    processes; results are bit-identical to the serial path because
-    every point seeds its own RNG registry.
+    scheme and topology); each load re-runs an independent cluster
+    with the same seed so curves differ only in offered load.  With
+    ``jobs > 1`` (or an explicit *executor*) the points run in
+    parallel worker processes; results are bit-identical to the serial
+    path because every point seeds its own RNG registry.
     """
     chosen_scheme = scheme if scheme is not None else config.scheme
     chosen_scheme = get_scheme(chosen_scheme).name
+    chosen_topology = topology if topology is not None else config.topology
+    chosen_topology = get_topology(chosen_topology).name
     result = SweepResult(scheme=chosen_scheme, workload=config.workload.name)
     point_configs = [
-        replace(config, scheme=chosen_scheme, rate_rps=rate)
+        replace(
+            config,
+            scheme=chosen_scheme,
+            topology=chosen_topology,
+            rate_rps=rate,
+        )
         for rate in offered_loads_rps
     ]
     for point in resolve_executor(executor, jobs).run_points(point_configs):

@@ -1,13 +1,26 @@
 """Parallel sweep engine.
 
 Every figure reproduction reduces to a batch of independent
-``run_point`` calls — one fresh simulator per (scheme, offered-load)
-pair.  :class:`SweepExecutor` fans such a batch out over a
-``concurrent.futures`` process pool (``jobs`` workers) while keeping
-the results in submission order, so parallel sweeps are bit-identical
-to serial ones: each point builds its own
+``run_point`` calls — one fresh simulator per (scheme, topology,
+offered-load) triple.  :class:`SweepExecutor` fans such a batch out
+over a ``concurrent.futures`` process pool (``jobs`` workers) while
+keeping the results in submission order, so parallel sweeps are
+bit-identical to serial ones: each point builds its own
 :class:`~repro.sim.rng.RngRegistry` from the config seed, and nothing
 is shared between points.
+
+Two scheduling refinements keep wide grids fast:
+
+* **Shared workload shipping** — configs in one batch usually share a
+  single :class:`~repro.experiments.specs.WorkloadSpec` (the KV spec's
+  Zipf CDF alone is ~8 MB).  The batch is rewritten to carry tiny
+  :class:`_SpecRef` markers and the spec table travels **once per
+  worker** through the pool initializer instead of once per point.
+* **Cost-ordered fan-out** — points are submitted longest-first
+  (expected event count ∝ offered load × simulated duration, see
+  :func:`point_cost`) so a straggling heavy point starts early instead
+  of serialising the tail; results are still collected in submission
+  order.
 
 The executor degrades gracefully: ``jobs=1`` (the default) never
 spawns processes, unpicklable configs (e.g. ad-hoc specs holding
@@ -22,7 +35,8 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.rng import stream_seed
 
@@ -30,7 +44,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.common import ClusterConfig
     from repro.metrics.sweep import LoadPoint
 
-__all__ = ["SweepExecutor", "point_seed", "resolve_executor"]
+__all__ = [
+    "SweepExecutor",
+    "point_cost",
+    "point_seed",
+    "resolve_executor",
+    "submission_order",
+]
 
 _LOG = logging.getLogger(__name__)
 
@@ -46,22 +66,76 @@ def point_seed(root_seed: int, label: str) -> int:
     return stream_seed(root_seed, f"sweep-point:{label}")
 
 
+def point_cost(config: "ClusterConfig") -> float:
+    """Expected simulation cost of one point (an event-count proxy).
+
+    Simulated events scale with requests processed ≈ offered load ×
+    simulated duration; higher loads also queue more, so this slightly
+    understates heavy points — good enough to order a batch.
+    """
+    return config.rate_rps * config.total_ns
+
+
+def submission_order(configs: Sequence["ClusterConfig"]) -> List[int]:
+    """Indices of *configs* from most to least expensive (stable)."""
+    return sorted(
+        range(len(configs)), key=lambda i: point_cost(configs[i]), reverse=True
+    )
+
+
+@dataclass(frozen=True)
+class _SpecRef:
+    """Per-point placeholder for a workload spec shipped via the pool
+    initializer (resolved back by :func:`_run_point` in the worker)."""
+
+    key: int
+
+
+#: Worker-side table of workload specs, filled by :func:`_worker_init`.
+_WORKER_SPECS: Dict[int, Any] = {}
+
+
+def _strip_specs(
+    configs: Sequence["ClusterConfig"],
+) -> Tuple[List["ClusterConfig"], Dict[int, Any]]:
+    """Replace each config's workload with a tiny :class:`_SpecRef`.
+
+    Returns the rewritten configs plus the key → spec table; distinct
+    spec objects get distinct keys, so mixed-workload batches still
+    resolve correctly.
+    """
+    table: Dict[int, Any] = {}
+    stripped = []
+    for config in configs:
+        key = id(config.workload)
+        table.setdefault(key, config.workload)
+        stripped.append(replace(config, workload=_SpecRef(key)))
+    return stripped, table
+
+
 def _run_point(config: "ClusterConfig") -> "LoadPoint":
     # Top-level wrapper: picklable by reference for pool workers, and
     # the late import keeps executor.py importable before common.py.
     from repro.experiments.common import run_point
 
+    workload = config.workload
+    if isinstance(workload, _SpecRef):
+        config = replace(config, workload=_WORKER_SPECS[workload.key])
     return run_point(config)
 
 
-def _worker_init(plugin_modules: Tuple[str, ...]) -> None:
-    """Pool initializer: make plugin schemes visible in the worker.
+def _worker_init(
+    plugin_modules: Tuple[str, ...], specs: Optional[Dict[int, Any]] = None
+) -> None:
+    """Pool initializer: plugin registries + shared workload specs.
 
     With the ``fork`` start method the worker inherits the parent's
-    registry; with ``spawn``/``forkserver`` it starts clean, so re-import
-    whichever modules registered schemes in the parent.  Modules that
-    cannot be imported (e.g. schemes registered from ``__main__``) are
-    skipped — the lookup error then surfaces per point.
+    registries; with ``spawn``/``forkserver`` it starts clean, so
+    re-import whichever modules registered schemes or topologies in
+    the parent.  Modules that cannot be imported (e.g. schemes
+    registered from ``__main__``) are skipped — the lookup error then
+    surfaces per point.  *specs* is the shared workload table; sending
+    it here costs one pickle per worker rather than one per point.
     """
     import importlib
 
@@ -70,6 +144,8 @@ def _worker_init(plugin_modules: Tuple[str, ...]) -> None:
             importlib.import_module(module)
         except Exception:  # pragma: no cover - depends on start method
             _LOG.debug("sweep worker could not import plugin %s", module)
+    if specs:
+        _WORKER_SPECS.update(specs)
 
 
 class SweepExecutor:
@@ -78,7 +154,8 @@ class SweepExecutor:
     :param jobs: worker processes; 1 means in-process serial execution
         and values < 1 mean "all CPUs".
     :param plugin_modules: modules to import in each worker before any
-        point runs (defaults to every module that registered a scheme).
+        point runs (defaults to every module that registered a scheme
+        or a topology).
     """
 
     def __init__(self, jobs: int = 1, plugin_modules: Optional[Sequence[str]] = None):
@@ -101,18 +178,17 @@ class SweepExecutor:
         """
         configs = list(configs)
         if reseed:
-            from dataclasses import replace
-
             configs = [
                 replace(config, seed=point_seed(config.seed, str(index)))
                 for index, config in enumerate(configs)
             ]
         if self.jobs <= 1 or len(configs) <= 1:
             return [_run_point(config) for config in configs]
-        if not self._picklable(configs):
+        stripped, spec_table = _strip_specs(configs)
+        if not self._picklable(stripped, spec_table):
             return [_run_point(config) for config in configs]
         try:
-            return self._run_pool(configs)
+            return self._run_pool(stripped, spec_table)
         except BrokenProcessPool as exc:
             # A worker died (OOM, spawn-side import failure).
             _LOG.warning("process pool failed (%s); sweeping serially", exc)
@@ -129,21 +205,42 @@ class SweepExecutor:
             return [_run_point(config) for config in configs]
 
     # ------------------------------------------------------------------
-    def _run_pool(self, configs: List["ClusterConfig"]) -> List["LoadPoint"]:
-        from repro.experiments.schemes import registered_modules
-
+    def _run_pool(
+        self, stripped: List["ClusterConfig"], spec_table: Dict[int, Any]
+    ) -> List["LoadPoint"]:
         plugins = self._plugin_modules
         if plugins is None:
-            plugins = registered_modules()
-        workers = min(self.jobs, len(configs))
+            plugins = self._registered_plugin_modules()
+        workers = min(self.jobs, len(stripped))
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init, initargs=(plugins,)
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(plugins, spec_table),
         ) as pool:
-            return list(pool.map(_run_point, configs))
+            # Longest-first submission shrinks tail stragglers; the
+            # future map restores submission order on collection.
+            futures = {
+                index: pool.submit(_run_point, stripped[index])
+                for index in submission_order(stripped)
+            }
+            return [futures[index].result() for index in range(len(stripped))]
 
-    def _picklable(self, configs: List["ClusterConfig"]) -> bool:
+    @staticmethod
+    def _registered_plugin_modules() -> Tuple[str, ...]:
+        from repro.experiments import schemes, topologies
+
+        modules = set(schemes.registered_modules())
+        modules.update(topologies.registered_modules())
+        return tuple(sorted(modules))
+
+    def _picklable(
+        self, stripped: List["ClusterConfig"], spec_table: Dict[int, Any]
+    ) -> bool:
+        # Checked post-strip, exactly as the pool will ship them: the
+        # (cheap) per-point configs and the once-per-worker spec table.
         try:
-            pickle.dumps(configs)
+            pickle.dumps(stripped)
+            pickle.dumps(spec_table)
             return True
         except Exception as exc:
             _LOG.warning(

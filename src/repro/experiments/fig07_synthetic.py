@@ -12,7 +12,7 @@ the longer 50/500 µs RPCs at high load.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.harness import (
@@ -42,7 +42,9 @@ NUM_SERVERS = 6
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[str, Dict[str, SweepResult]]:
     """All four panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     for panel, (kind, mean_us, modes) in PANELS.items():
@@ -50,6 +52,7 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
+                topology=topology,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -62,10 +65,12 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 7 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
         base = series["baseline"]
         cclone = series["cclone"]
         netclone = series["netclone"]
@@ -87,5 +92,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig7", "synthetic workloads: Baseline vs C-Clone vs NetClone (4 panels)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

@@ -12,7 +12,7 @@ highest.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.harness import (
@@ -39,7 +39,9 @@ NUM_SERVERS = 5
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[str, Dict[str, SweepResult]]:
     """Both panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     for panel, (kind, mean_us, modes) in PANELS.items():
@@ -47,6 +49,7 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
+                topology=topology,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -59,10 +62,12 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 8 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
         notes = [
             f"max throughput (MRPS): LAEDGE {series['laedge'].max_throughput_mrps():.2f} "
             f"< C-Clone {series['cclone'].max_throughput_mrps():.2f} "
@@ -76,5 +81,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig8", "scalability comparison: C-Clone vs LAEDGE vs NetClone")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

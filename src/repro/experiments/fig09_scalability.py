@@ -10,7 +10,7 @@ the dropped-clone processing costs show (§5.3.2).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.harness import (
@@ -31,7 +31,9 @@ SERVER_COUNTS = (2, 4, 6)
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[int, Dict[str, SweepResult]]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[int, Dict[str, SweepResult]]:
     """Curves keyed by server count then scheme."""
     results: Dict[int, Dict[str, SweepResult]] = {}
     spec_factory = lambda: make_synthetic_spec("exp", mean_us=25.0)  # noqa: E731
@@ -40,6 +42,7 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[int, Dict[
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
+                topology=topology,
                 num_servers=num_servers,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -52,9 +55,11 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[int, Dict[
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 9 and return the formatted report."""
-    results = collect(scale, seed, jobs=jobs)
+    results = collect(scale, seed, jobs=jobs, topology=topology)
     sections = []
     tput = {
         n: results[n]["netclone"].max_throughput_mrps() for n in SERVER_COUNTS
@@ -76,5 +81,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig9", "impact of the number of worker servers (2/4/6)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

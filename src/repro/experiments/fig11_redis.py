@@ -15,7 +15,7 @@ latency at low load but saturates at half the throughput.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.harness import (
@@ -46,7 +46,9 @@ FULL_KEYS = 1_000_000
 QUICK_KEYS = 100_000
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[str, Dict[str, SweepResult]]:
     """Both mix panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     num_keys = FULL_KEYS if scale >= 1.0 else QUICK_KEYS
@@ -57,6 +59,7 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
+                topology=topology,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -73,10 +76,12 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 11 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
         base = series["baseline"]
         netclone = series["netclone"]
         low = base.points[0].offered_rps
@@ -103,5 +108,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig11", "Redis key-value store, 99/1 and 90/10 GET/SCAN mixes")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

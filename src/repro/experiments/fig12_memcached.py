@@ -8,7 +8,7 @@ reports the same trends as Redis: up to 22× p99 improvement at the
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments import fig11_redis
 from repro.experiments.common import ClusterConfig
@@ -31,7 +31,9 @@ NUM_SERVERS = fig11_redis.NUM_SERVERS
 WORKERS = fig11_redis.WORKERS
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[str, Dict[str, SweepResult]]:
     """Both mix panels' curves with the Memcached cost model."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     num_keys = fig11_redis.FULL_KEYS if scale >= 1.0 else fig11_redis.QUICK_KEYS
@@ -42,6 +44,7 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
+                topology=topology,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -58,10 +61,12 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 12 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
         base = series["baseline"]
         netclone = series["netclone"]
         low = base.points[0].offered_rps
@@ -88,5 +93,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig12", "Memcached key-value store, 99/1 and 90/10 GET/SCAN mixes")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

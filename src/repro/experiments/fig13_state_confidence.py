@@ -43,11 +43,12 @@ def _effective_capacity(config: ClusterConfig) -> float:
     return raw / inflation
 
 
-def _base_config(scale: float, seed: int) -> ClusterConfig:
+def _base_config(scale: float, seed: int, topology: Optional[str] = None) -> ClusterConfig:
     spec = make_synthetic_spec("exp", mean_us=25.0)
     return scaled_config(
         ClusterConfig(
             workload=spec,
+            topology=topology,
             num_servers=NUM_SERVERS,
             workers_per_server=WORKERS,
             seed=seed,
@@ -60,9 +61,10 @@ def collect_empty_queue(
     scale: float = 1.0,
     seed: int = 1,
     executor: Optional[SweepExecutor] = None,
+    topology: Optional[str] = None,
 ) -> List[Tuple[float, float]]:
     """(load fraction, empty-queue fraction) samples for panel (a)."""
-    config = _base_config(scale, seed)
+    config = _base_config(scale, seed, topology)
     capacity = _effective_capacity(config)
     fractions = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
     if scale < 0.4:
@@ -85,9 +87,10 @@ def collect_repeated_p99(
     seed: int = 1,
     repeats: int = REPEATS,
     executor: Optional[SweepExecutor] = None,
+    topology: Optional[str] = None,
 ) -> Dict[str, Tuple[float, float]]:
     """Mean and std of p99 over repeated runs at 90 % load (panel b)."""
-    config = _base_config(scale, seed)
+    config = _base_config(scale, seed, topology)
     rate = _effective_capacity(config) * HIGH_LOAD_FRACTION
     schemes = ("baseline", "netclone")
     configs = [
@@ -103,12 +106,16 @@ def collect_repeated_p99(
     return out
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 13 and return the formatted report."""
     executor = SweepExecutor(jobs=jobs)
-    empty = collect_empty_queue(scale, seed, executor=executor)
+    empty = collect_empty_queue(scale, seed, executor=executor, topology=topology)
     repeats = REPEATS if scale >= 1.0 else max(3, int(REPEATS * scale))
-    stats = collect_repeated_p99(scale, seed, repeats=repeats, executor=executor)
+    stats = collect_repeated_p99(
+        scale, seed, repeats=repeats, executor=executor, topology=topology
+    )
     lines = ["== Figure 13 (a): portion of empty queues vs offered load =="]
     lines.append(
         format_table(
@@ -145,5 +152,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig13", "confidence of the empty-queue state signal")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

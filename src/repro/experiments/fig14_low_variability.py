@@ -9,7 +9,7 @@ mask.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.harness import (
@@ -37,7 +37,9 @@ NUM_SERVERS = 6
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, SweepResult]]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[str, Dict[str, SweepResult]]:
     """Both panels' curves with p = 0.001."""
     results: Dict[str, Dict[str, SweepResult]] = {}
     for panel, (kind, mean_us, modes) in PANELS.items():
@@ -45,6 +47,7 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
+                topology=topology,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 jitter_p=JITTER_P,
@@ -58,10 +61,12 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[
     return results
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 14 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
         base = series["baseline"]
         netclone = series["netclone"]
         low = base.points[0].offered_rps
@@ -77,5 +82,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig14", "low service-time variability (p=0.001)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

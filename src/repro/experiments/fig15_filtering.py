@@ -10,7 +10,7 @@ justifies the in-switch filter tables.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.harness import (
@@ -32,12 +32,15 @@ NUM_SERVERS = 6
 WORKERS = 15
 
 
-def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, SweepResult]:
+def collect(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> Dict[str, SweepResult]:
     """The three curves keyed by scheme."""
     spec = make_synthetic_spec("exp", mean_us=25.0)
     config = scaled_config(
         ClusterConfig(
             workload=spec,
+            topology=topology,
             num_servers=NUM_SERVERS,
             workers_per_server=WORKERS,
             seed=seed,
@@ -49,9 +52,11 @@ def collect(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> Dict[str, Sweep
     return sweep_schemes(config, SCHEMES, loads, jobs=jobs)
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 15 and return the formatted report."""
-    series = collect(scale, seed, jobs=jobs)
+    series = collect(scale, seed, jobs=jobs, topology=topology)
     points = series["baseline"].points
     high = points[max(0, len(points) - 3)].offered_rps
     low = series["baseline"].points[0].offered_rps
@@ -72,5 +77,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig15", "ablation: redundant response filtering on/off")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

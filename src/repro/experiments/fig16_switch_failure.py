@@ -19,7 +19,7 @@ cluster is far from saturation either way.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.experiments.common import Cluster, ClusterConfig
 from repro.experiments.registry import register
@@ -40,13 +40,14 @@ REINIT_S = 3
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1
+    scale: float = 1.0, seed: int = 1, topology: Optional[str] = None
 ) -> Tuple[List[float], List[float], dict]:
     """(window starts s, throughput KRPS per window, integrity stats)."""
     horizon_s = HORIZON_S if scale >= 1.0 else max(10, int(HORIZON_S * scale))
     spec = make_synthetic_spec("exp", mean_us=25.0)
     config = ClusterConfig(
         scheme="netclone",
+        topology=topology,
         workload=spec,
         num_servers=NUM_SERVERS,
         workers_per_server=WORKERS,
@@ -74,14 +75,17 @@ def collect(
     return monitor.window_starts_sec()[: len(rates_krps)], rates_krps, stats
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Run Figure 16 and return the formatted report.
 
     *jobs* is accepted for CLI symmetry but unused: the figure is one
     continuous timeline with mid-run failure injection, so there is no
-    independent-point batch to fan out.
+    independent-point batch to fan out.  The injected failure hits the
+    primary (first) ToR of whatever *topology* is selected.
     """
-    starts, rates, stats = collect(scale, seed)
+    starts, rates, stats = collect(scale, seed, topology=topology)
     lines = ["== Figure 16: throughput under a switch failure =="]
     lines.append(
         format_table(
@@ -111,5 +115,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("fig16", "throughput timeline across a switch failure and recovery")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, topology=topology)

@@ -18,6 +18,7 @@ from repro.errors import ExperimentError
 from repro.experiments.common import ClusterConfig, run_sweep
 from repro.experiments.executor import SweepExecutor, resolve_executor
 from repro.experiments.schemes import get_scheme
+from repro.experiments.topologies import get_topology
 from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.sim.units import ms
 
@@ -75,19 +76,24 @@ def sweep_schemes(
     loads: Sequence[float],
     jobs: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    topology: Optional[str] = None,
 ) -> Dict[str, SweepResult]:
     """One curve per scheme over the same load grid.
 
     The whole scheme × load grid is flattened into one batch so a
     parallel executor keeps every worker busy across curves, not just
     within one; the serial default matches ``run_sweep`` per scheme.
+    *topology* overrides the config's fabric for every curve.
     """
     chosen = resolve_executor(executor, jobs)
     schemes = list(schemes)
     canonical = [get_scheme(scheme).name for scheme in schemes]
+    chosen_topology = get_topology(
+        topology if topology is not None else config.topology
+    ).name
     loads = list(loads)
     point_configs = [
-        replace(config, scheme=name, rate_rps=rate)
+        replace(config, scheme=name, topology=chosen_topology, rate_rps=rate)
         for name in canonical
         for rate in loads
     ]

@@ -1,0 +1,156 @@
+"""Generic plugin-registry machinery shared by both plugin axes.
+
+The scheme registry (:mod:`repro.experiments.schemes`) and the
+topology registry (:mod:`repro.experiments.topologies`) expose the
+same surface: register a declarative spec (decorator or direct call),
+look it up by canonical name or alias, list and describe what is
+registered, and lazily import plugin modules so self-registering
+specs become visible without the core importing them eagerly.
+:class:`PluginRegistry` implements that surface once, parameterised
+by the spec dataclass; the axis modules keep their domain-named
+wrappers (``register_scheme``, ``get_topology``, ...) as thin
+delegates so call sites read naturally.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["PluginRegistry"]
+
+_LOG = logging.getLogger(__name__)
+
+
+class PluginRegistry:
+    """Name → spec registry with aliases and lazy plugin imports.
+
+    :param kind: noun used in error/log messages (``"scheme"``).
+    :param spec_type: the spec dataclass; specs must expose ``name``,
+        ``aliases``, ``description`` and a mutable ``module`` field.
+    :param plugin_modules: the **shared, live** list of plugin module
+        names — callers may append to it at any time; not-yet-imported
+        entries load on the next lookup.
+    :param factory_field: spec attribute whose ``__module__`` seeds
+        ``spec.module`` when nothing better is known.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        spec_type: type,
+        plugin_modules: List[str],
+        factory_field: str,
+    ):
+        self.kind = kind
+        self.spec_type = spec_type
+        self.plugin_modules = plugin_modules
+        self.factory_field = factory_field
+        self._registry: Dict[str, Any] = {}
+        self._aliases: Dict[str, str] = {}
+        self._loaded_plugins: set = set()
+
+    # ------------------------------------------------------------------
+    def register(self, spec_or_factory):
+        """Register a spec; usable as a decorator or called directly."""
+        if isinstance(spec_or_factory, self.spec_type):
+            spec = spec_or_factory
+        else:
+            spec = spec_or_factory()
+            if not isinstance(spec, self.spec_type):
+                raise ExperimentError(
+                    f"@register_{self.kind} factory returned "
+                    f"{type(spec).__name__}, expected a {self.spec_type.__name__}"
+                )
+            if spec.module is None:
+                spec.module = getattr(spec_or_factory, "__module__", None)
+        if spec.module is None:
+            factory = getattr(spec, self.factory_field)
+            spec.module = getattr(factory, "__module__", None)
+        taken = set(self._registry) | set(self._aliases)
+        for key in (spec.name, *spec.aliases):
+            if key in taken:
+                raise ExperimentError(
+                    f"{self.kind} name {key!r} is already registered"
+                )
+        self._registry[spec.name] = spec
+        for alias in spec.aliases:
+            self._aliases[alias] = spec.name
+        return spec_or_factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a spec (and its aliases); mainly for tests."""
+        spec = self._registry.pop(name, None)
+        if spec is None:
+            raise ExperimentError(
+                f"cannot unregister unknown {self.kind} {name!r}"
+            )
+        for alias in spec.aliases:
+            self._aliases.pop(alias, None)
+
+    def get(self, name: str):
+        """The spec registered under *name* (aliases resolve)."""
+        self._ensure_plugins()
+        canonical = self._aliases.get(name, name)
+        spec = self._registry.get(canonical)
+        if spec is None:
+            raise ExperimentError(
+                f"unknown {self.kind} {name!r}; choose one of {self.names()}"
+            )
+        return spec
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names, in registration order."""
+        self._ensure_plugins()
+        return tuple(self._registry)
+
+    def specs(self) -> List[Any]:
+        """Every registered spec, in registration order."""
+        self._ensure_plugins()
+        return list(self._registry.values())
+
+    def describe(self) -> List[str]:
+        """``name — description`` lines (aliases in parentheses)."""
+        lines = []
+        for spec in self.specs():
+            alias_note = (
+                f" (aka {', '.join(spec.aliases)})" if spec.aliases else ""
+            )
+            lines.append(f"{spec.name}{alias_note} — {spec.description}")
+        return lines
+
+    def registered_modules(self) -> Tuple[str, ...]:
+        """Modules that registered specs (for sweep worker re-imports)."""
+        self._ensure_plugins()
+        modules = {
+            spec.module for spec in self._registry.values() if spec.module
+        }
+        return tuple(sorted(modules))
+
+    # ------------------------------------------------------------------
+    def _ensure_plugins(self) -> None:
+        """Import each plugin module once so its registrations run.
+
+        Modules are tracked individually (not a one-shot flag), so
+        entries appended to the shared plugin-module list after the
+        first lookup still load on the next one.  A broken plugin must
+        not take down lookups of healthy specs, so each import failure
+        is logged and skipped rather than raised.
+        """
+        for module in list(self.plugin_modules):
+            if module in self._loaded_plugins:
+                continue
+            self._loaded_plugins.add(module)
+            try:
+                importlib.import_module(module)
+            except Exception:
+                _LOG.exception(
+                    "%s plugin module %s failed to import; its %ss "
+                    "will be missing from the registry",
+                    self.kind,
+                    module,
+                    self.kind,
+                )

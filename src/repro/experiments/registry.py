@@ -1,11 +1,14 @@
 """Experiment registry: IDs → harness entry points.
 
-Each entry point is ``run(scale: float, seed: int, jobs: int) -> str``
-returning the formatted report it also prints.  ``scale`` shrinks
-measurement windows (and sweep densities) so the same harness serves
-quick smoke runs, benchmarks, and full reproductions; ``jobs`` is the
-sweep worker-process count (the CLI passes it to every harness, so
-registered entry points must accept it even if they ignore it).
+Each entry point is ``run(scale: float, seed: int, jobs: int,
+topology: Optional[str]) -> str`` returning the formatted report it
+also prints.  ``scale`` shrinks measurement windows (and sweep
+densities) so the same harness serves quick smoke runs, benchmarks,
+and full reproductions; ``jobs`` is the sweep worker-process count;
+``topology`` selects a registered fabric (``None`` keeps each
+harness's own default, usually the single-rack star).  The CLI passes
+all three to every harness, so registered entry points must accept
+them even if they ignore them.
 """
 
 from __future__ import annotations
@@ -64,6 +67,7 @@ def _ensure_loaded() -> None:
         fig14_low_variability,
         fig15_filtering,
         fig16_switch_failure,
+        fig17_multirack,
         table1_comparison,
         table_resources,
     )

@@ -30,12 +30,11 @@ lazily on first lookup so they never burden import time.
 
 from __future__ import annotations
 
-import importlib
-import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExperimentError
+from repro.experiments.plugin_registry import PluginRegistry
 
 __all__ = [
     "PLUGIN_MODULES",
@@ -55,7 +54,10 @@ __all__ = [
 #: the core ever importing them eagerly (or them importing the core).
 #: Append to this list at any time; not-yet-imported entries load on
 #: the next lookup.
-PLUGIN_MODULES: List[str] = ["repro.baselines.jsq_d"]
+PLUGIN_MODULES: List[str] = [
+    "repro.baselines.jsq_d",
+    "repro.baselines.bounded_random",
+]
 
 
 @dataclass
@@ -64,8 +66,14 @@ class SchemeContext:
 
     ``cluster`` is the partially built
     :class:`~repro.experiments.common.Cluster` (its ``sim``, ``rngs``,
-    ``topology``, ``servers`` and ``switch`` are available); ``config``
-    is its :class:`~repro.experiments.common.ClusterConfig`.
+    ``topology`` — a registry-built fabric — ``servers``, ``tors`` and
+    ``switch`` are available); ``config`` is its
+    :class:`~repro.experiments.common.ClusterConfig`.
+
+    ``make_program`` hooks run once per ToR: ``switch_id`` holds the
+    1-based rack number of the ToR currently being programmed, which
+    is what the §3.7 SWID gate compares against.  ``program`` is the
+    primary (first) ToR's program once all are installed.
     """
 
     cluster: Any
@@ -73,6 +81,7 @@ class SchemeContext:
     server_ips: List[int] = field(default_factory=list)
     coordinator_ip: Optional[int] = None
     program: Optional[Any] = None
+    switch_id: int = 1
 
 
 @dataclass
@@ -113,9 +122,14 @@ class SchemeSpec:
         return self.make_coordinator is not None
 
 
-_REGISTRY: Dict[str, SchemeSpec] = {}
-_ALIASES: Dict[str, str] = {}
-_loaded_plugins: set = set()
+_IMPL = PluginRegistry(
+    kind="scheme",
+    spec_type=SchemeSpec,
+    plugin_modules=PLUGIN_MODULES,
+    factory_field="make_client",
+)
+#: Shared with :class:`PluginRegistry` (tests reset entries here).
+_loaded_plugins = _IMPL._loaded_plugins
 
 
 def register_scheme(spec_or_factory):
@@ -125,99 +139,37 @@ def register_scheme(spec_or_factory):
     returning one (the decorator form).  Duplicate names or aliases
     raise :class:`~repro.errors.ExperimentError`.
     """
-    if isinstance(spec_or_factory, SchemeSpec):
-        spec = spec_or_factory
-    else:
-        spec = spec_or_factory()
-        if not isinstance(spec, SchemeSpec):
-            raise ExperimentError(
-                f"@register_scheme factory returned {type(spec).__name__}, "
-                "expected a SchemeSpec"
-            )
-        if spec.module is None:
-            spec.module = getattr(spec_or_factory, "__module__", None)
-    if spec.module is None:
-        spec.module = getattr(spec.make_client, "__module__", None)
-    taken = set(_REGISTRY) | set(_ALIASES)
-    for key in (spec.name, *spec.aliases):
-        if key in taken:
-            raise ExperimentError(f"scheme name {key!r} is already registered")
-    _REGISTRY[spec.name] = spec
-    for alias in spec.aliases:
-        _ALIASES[alias] = spec.name
-    return spec_or_factory
+    return _IMPL.register(spec_or_factory)
 
 
 def unregister_scheme(name: str) -> None:
     """Remove a scheme (and its aliases); mainly for tests."""
-    spec = _REGISTRY.pop(name, None)
-    if spec is None:
-        raise ExperimentError(f"cannot unregister unknown scheme {name!r}")
-    for alias in spec.aliases:
-        _ALIASES.pop(alias, None)
+    _IMPL.unregister(name)
 
 
 def get_scheme(name: str) -> SchemeSpec:
     """The spec registered under *name* (aliases resolve)."""
-    _ensure_plugins()
-    canonical = _ALIASES.get(name, name)
-    spec = _REGISTRY.get(canonical)
-    if spec is None:
-        raise ExperimentError(
-            f"unknown scheme {name!r}; choose one of {scheme_names()}"
-        )
-    return spec
+    return _IMPL.get(name)
 
 
 def scheme_names() -> Tuple[str, ...]:
     """Canonical names of every registered scheme, in registration order."""
-    _ensure_plugins()
-    return tuple(_REGISTRY)
+    return _IMPL.names()
 
 
 def iter_schemes() -> List[SchemeSpec]:
     """Every registered spec, in registration order."""
-    _ensure_plugins()
-    return list(_REGISTRY.values())
+    return _IMPL.specs()
 
 
 def describe_schemes() -> List[str]:
     """``name — description`` lines (aliases in parentheses)."""
-    lines = []
-    for spec in iter_schemes():
-        alias_note = f" (aka {', '.join(spec.aliases)})" if spec.aliases else ""
-        lines.append(f"{spec.name}{alias_note} — {spec.description}")
-    return lines
+    return _IMPL.describe()
 
 
 def registered_modules() -> Tuple[str, ...]:
     """Modules that registered schemes (for sweep worker re-imports)."""
-    _ensure_plugins()
-    modules = {spec.module for spec in _REGISTRY.values() if spec.module}
-    return tuple(sorted(modules))
-
-
-def _ensure_plugins() -> None:
-    """Import each plugin module once so its registrations run.
-
-    Modules are tracked individually (not a one-shot flag), so entries
-    appended to :data:`PLUGIN_MODULES` after the first lookup still
-    load on the next one.  A broken plugin must not take down lookups
-    of healthy schemes, so each import failure is logged and skipped
-    rather than raised.
-    """
-    for module in list(PLUGIN_MODULES):
-        if module in _loaded_plugins:
-            continue
-        _loaded_plugins.add(module)
-        try:
-            importlib.import_module(module)
-        except Exception:
-            logging.getLogger(__name__).exception(
-                "scheme plugin module %s failed to import; its schemes "
-                "will be missing from the registry",
-                module,
-            )
+    return _IMPL.registered_modules()
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +233,7 @@ def _program_kwargs(ctx: SchemeContext) -> Dict[str, Any]:
         server_ips=list(ctx.server_ips),
         num_filter_tables=ctx.config.num_filter_tables,
         filter_slots=ctx.config.filter_slots,
+        switch_id=ctx.switch_id,
     )
 
 

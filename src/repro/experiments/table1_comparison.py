@@ -11,7 +11,7 @@ scheme's low-load median latency against the Baseline's.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.common import ClusterConfig
 from repro.experiments.executor import SweepExecutor
@@ -31,13 +31,14 @@ def _mark(value: bool) -> str:
 
 
 def derive_matrix(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
 ) -> Dict[str, Dict[str, str]]:
     """Measure each Table 1 property from probe runs."""
     spec = make_synthetic_spec("exp", mean_us=25.0)
     base = scaled_config(
         ClusterConfig(
             workload=spec,
+            topology=topology,
             num_servers=5,
             workers_per_server=15,
             warmup_ns=ms(5),
@@ -114,9 +115,11 @@ def _laedge_probe_rate(point) -> float:
     return 0.0 if queue > 0 else 1.0
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def run(
+    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+) -> str:
     """Derive and print Table 1."""
-    matrix = derive_matrix(scale, seed, jobs=jobs)
+    matrix = derive_matrix(scale, seed, jobs=jobs, topology=topology)
     properties = [
         "Cloning point",
         "Dynamic cloning",
@@ -149,5 +152,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("table1", "qualitative comparison matrix, derived from probe runs")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    return run(scale, seed, jobs=jobs)
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology)

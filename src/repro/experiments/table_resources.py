@@ -9,6 +9,8 @@ SRAM, and the 20 KRPS-per-slot back-of-the-envelope supporting
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.program import NetCloneProgram
 from repro.experiments.registry import register
 from repro.switchsim.resources import ResourceModel
@@ -27,8 +29,9 @@ def report():
     )
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
-    """Print the §4.1 resource rows (*jobs* accepted for CLI symmetry)."""
+def run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+    """Print the §4.1 resource rows (*jobs*/*topology* accepted for CLI
+    symmetry; the footprint is per ToR and fabric-independent)."""
     lines = ["== §4.1 switch resource usage (recomputed from the pipeline) =="]
     lines.extend(report().rows())
     lines.append(
@@ -40,5 +43,5 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
 
 
 @register("resources", "switch ASIC resource accounting (§4.1)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
     return run(scale, seed)

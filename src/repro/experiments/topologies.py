@@ -1,0 +1,212 @@
+"""Topology plugin registry.
+
+Schemes decide *what* runs on the fabric; topologies decide what the
+fabric *is*.  A :class:`TopologySpec` names a fabric builder that,
+given a build context (simulator + :class:`ClusterConfig`), produces
+the switches, links, routes and host-attachment hooks of one fabric
+(see :class:`repro.net.topology.Fabric`).  The registry maps topology
+names (and aliases) to specs, mirroring the scheme registry in
+:mod:`repro.experiments.schemes`, so
+:class:`~repro.experiments.common.Cluster` composes any registered
+scheme with any registered topology — the §3.7 SWID gate makes the
+scheme's switch program safe to install per ToR.
+
+Registering a topology::
+
+    from repro.experiments.topologies import TopologySpec, register_topology
+
+    @register_topology
+    def _my_fabric() -> TopologySpec:
+        return TopologySpec(
+            name="my-fabric",
+            description="one line for `repro-netclone topologies`",
+            make_fabric=lambda ctx: MyFabric(ctx.sim, ctx.make_switch),
+        )
+
+Builders read free-form knobs from ``ctx.config.topology_params``
+(e.g. ``spine_leaf`` honours ``racks`` and ``spines``).  Plugin
+modules listed in :data:`PLUGIN_MODULES` are imported lazily on first
+lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.plugin_registry import PluginRegistry
+from repro.net.topology import Fabric, SingleRackFabric, SpineLeafFabric, TwoRackFabric
+
+__all__ = [
+    "PLUGIN_MODULES",
+    "TopologyContext",
+    "TopologySpec",
+    "describe_topologies",
+    "get_topology",
+    "iter_topologies",
+    "register_topology",
+    "registered_modules",
+    "topology_names",
+    "unregister_topology",
+]
+
+#: Modules imported lazily on registry access so self-registering
+#: plugin topologies become visible without the core importing them
+#: eagerly.  Append at any time; new entries load on the next lookup.
+PLUGIN_MODULES: List[str] = []
+
+
+@dataclass
+class TopologyContext:
+    """Build-time state handed to every :class:`TopologySpec` builder.
+
+    ``make_switch(name)`` builds a switch with the config's pipeline
+    timing, so fabric builders never import the switch model.
+    """
+
+    sim: Any
+    config: Any
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """The config's free-form ``topology_params``."""
+        return dict(getattr(self.config, "topology_params", None) or {})
+
+    def make_switch(self, name: str):
+        from repro.switchsim.switch import ProgrammableSwitch
+
+        return ProgrammableSwitch(
+            self.sim,
+            name=name,
+            pipeline_latency_ns=self.config.switch_pipeline_ns,
+            recirc_latency_ns=self.config.switch_recirc_ns,
+        )
+
+
+@dataclass
+class TopologySpec:
+    """Declarative description of one fabric layout."""
+
+    #: Canonical topology name (what ``ClusterConfig.topology`` normalises to).
+    name: str
+    #: One-line description shown by ``repro-netclone topologies``.
+    description: str
+    #: ``ctx -> Fabric`` — build the switches/links/routes of one fabric.
+    make_fabric: Callable[[TopologyContext], Fabric]
+    #: Alternative lookup names.
+    aliases: Tuple[str, ...] = ()
+    #: Module that registered the spec (filled in by ``register_topology``).
+    module: Optional[str] = None
+
+
+_IMPL = PluginRegistry(
+    kind="topology",
+    spec_type=TopologySpec,
+    plugin_modules=PLUGIN_MODULES,
+    factory_field="make_fabric",
+)
+#: Shared with :class:`PluginRegistry` (tests reset entries here).
+_loaded_plugins = _IMPL._loaded_plugins
+
+
+def register_topology(spec_or_factory):
+    """Register a topology; usable as a decorator or called directly.
+
+    Accepts either a :class:`TopologySpec` or a zero-argument factory
+    returning one (the decorator form).  Duplicate names or aliases
+    raise :class:`~repro.errors.ExperimentError`.
+    """
+    return _IMPL.register(spec_or_factory)
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a topology (and its aliases); mainly for tests."""
+    _IMPL.unregister(name)
+
+
+def get_topology(name: str) -> TopologySpec:
+    """The spec registered under *name* (aliases resolve)."""
+    return _IMPL.get(name)
+
+
+def topology_names() -> Tuple[str, ...]:
+    """Canonical names of every registered topology, in registration order."""
+    return _IMPL.names()
+
+
+def iter_topologies() -> List[TopologySpec]:
+    """Every registered spec, in registration order."""
+    return _IMPL.specs()
+
+
+def describe_topologies() -> List[str]:
+    """``name — description`` lines (aliases in parentheses)."""
+    return _IMPL.describe()
+
+
+def registered_modules() -> Tuple[str, ...]:
+    """Modules that registered topologies (for sweep worker re-imports)."""
+    return _IMPL.registered_modules()
+
+
+# ----------------------------------------------------------------------
+# Built-in fabrics
+# ----------------------------------------------------------------------
+def _star_fabric(ctx: TopologyContext) -> Fabric:
+    return SingleRackFabric(ctx.sim, ctx.make_switch)
+
+
+def _two_rack_fabric(ctx: TopologyContext) -> Fabric:
+    params = ctx.params
+    return TwoRackFabric(
+        ctx.sim,
+        ctx.make_switch,
+        client_rack=int(params.get("client_rack", 0)),
+        server_rack=int(params.get("server_rack", 1)),
+        coordinator_rack=params.get("coordinator_rack"),
+        trunk_propagation_ns=int(params.get("trunk_propagation_ns", 1000)),
+        trunk_bandwidth_bps=float(params.get("trunk_bandwidth_bps", 400e9)),
+    )
+
+
+def _spine_leaf_fabric(ctx: TopologyContext) -> Fabric:
+    params = ctx.params
+    return SpineLeafFabric(
+        ctx.sim,
+        ctx.make_switch,
+        racks=int(params.get("racks", 2)),
+        spines=int(params.get("spines", 2)),
+        trunk_propagation_ns=int(params.get("trunk_propagation_ns", 1000)),
+        trunk_bandwidth_bps=float(params.get("trunk_bandwidth_bps", 400e9)),
+    )
+
+
+register_topology(
+    TopologySpec(
+        name="star",
+        description="single rack: one ToR, every host a cable away (§5.1.1)",
+        make_fabric=_star_fabric,
+        aliases=("single-rack", "1rack"),
+        module=__name__,
+    )
+)
+
+register_topology(
+    TopologySpec(
+        name="two_rack",
+        description="client rack + server rack joined by a trunk (§3.7)",
+        make_fabric=_two_rack_fabric,
+        aliases=("two-rack", "2rack"),
+        module=__name__,
+    )
+)
+
+register_topology(
+    TopologySpec(
+        name="spine_leaf",
+        description="racks×spines Clos fabric; params: racks, spines (§3.7)",
+        make_fabric=_spine_leaf_fabric,
+        aliases=("spine-leaf", "clos"),
+        module=__name__,
+    )
+)

@@ -21,11 +21,18 @@ from repro.net.packet import (
     PROTO_UDP,
     Packet,
 )
-from repro.net.topology import StarTopology
+from repro.net.topology import (
+    Fabric,
+    SingleRackFabric,
+    SpineLeafFabric,
+    StarTopology,
+    TwoRackFabric,
+)
 from repro.net.trace import PacketTracer, TraceRecord
 
 __all__ = [
     "EthernetHeader",
+    "Fabric",
     "Host",
     "IPv4Header",
     "Link",
@@ -34,7 +41,10 @@ __all__ = [
     "PROTO_UDP",
     "Packet",
     "PacketTracer",
+    "SingleRackFabric",
+    "SpineLeafFabric",
     "StarTopology",
+    "TwoRackFabric",
     "TraceRecord",
     "UDPHeader",
     "format_ip",

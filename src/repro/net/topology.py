@@ -1,4 +1,4 @@
-"""Topology builders.
+"""Topology builders: single-rack stars and multi-rack fabrics.
 
 The paper's testbed is a single rack: one ToR switch with every host a
 direct cable away.  :class:`StarTopology` wires hosts to switch ports,
@@ -6,11 +6,29 @@ assigns addresses, and installs L3 routes.  It is deliberately generic
 over the switch object (anything exposing ``connect(port, link)`` and
 ``install_route(ip, port)``) so both the programmable switch model and
 test doubles can be used.
+
+§3.7 sketches multi-rack deployment: only ToR switches run NetClone
+logic, the client-side ToR stamps its switch ID into the SWID field,
+and every other NetClone switch skips packets whose SWID is set and
+does not match its own ID.  The :class:`Fabric` subclasses here build
+such fabrics out of per-rack stars plus inter-rack wiring:
+
+* :class:`SingleRackFabric` — one ToR, the paper's testbed;
+* :class:`TwoRackFabric` — two ToRs joined by a trunk link;
+* :class:`SpineLeafFabric` — ``racks`` ToRs fully meshed to
+  ``spines`` plain L3 spine switches.
+
+A fabric is role-aware: hosts are attached as ``"server"``,
+``"client"`` or ``"coordinator"`` with an index, and the fabric's
+placement policy (:meth:`Fabric.rack_of`) decides which rack — and
+therefore which subnet, ToR and inter-rack routes — the host gets.
+Experiment code never wires fabrics by hand; it resolves them through
+the topology plugin registry in :mod:`repro.experiments.topologies`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import NetworkError, PortError
 from repro.net.addresses import ip_to_int
@@ -18,7 +36,13 @@ from repro.net.host import Host
 from repro.net.link import Link
 from repro.sim.core import Simulator
 
-__all__ = ["StarTopology"]
+__all__ = [
+    "Fabric",
+    "SingleRackFabric",
+    "SpineLeafFabric",
+    "StarTopology",
+    "TwoRackFabric",
+]
 
 
 class StarTopology:
@@ -31,12 +55,15 @@ class StarTopology:
         propagation_ns: int = 300,
         bandwidth_bps: float = 100e9,
         subnet: str = "10.0.1.0",
+        max_ports: Optional[int] = None,
     ):
         self.sim = sim
         self.switch = switch
         self.propagation_ns = propagation_ns
         self.bandwidth_bps = bandwidth_bps
         self.subnet_base = ip_to_int(subnet)
+        #: Ports beyond this are reserved (fabric uplinks); None: no cap.
+        self.max_ports = max_ports
         self.hosts: List[Host] = []
         self.links: List[Link] = []
         self.port_of: Dict[str, int] = {}
@@ -54,6 +81,11 @@ class StarTopology:
         """Cable *host* to the next switch port; returns the port index."""
         if host.name in self.port_of:
             raise PortError(f"host {host.name} already attached")
+        if self.max_ports is not None and self._next_port >= self.max_ports:
+            raise NetworkError(
+                f"rack full: {self.max_ports} host ports in use and the "
+                "remaining switch ports are reserved for fabric uplinks"
+            )
         port = self._next_port
         self._next_port += 1
         link = Link(
@@ -78,3 +110,243 @@ class StarTopology:
         if port is None:
             raise PortError(f"host {host.name} not attached")
         return self.links[port]
+
+
+# ----------------------------------------------------------------------
+# Multi-rack fabrics
+# ----------------------------------------------------------------------
+class Fabric:
+    """Base class for registry-built fabrics.
+
+    Subclasses create switches via the injected ``make_switch(name)``
+    factory (keeping this module independent of the switch model),
+    wire racks together, and implement the placement policy
+    :meth:`rack_of` plus the inter-rack route announcement
+    :meth:`_announce`.
+
+    Attributes driven by cluster assembly:
+
+    * ``tors`` — the program-bearing top-of-rack switches, in rack
+      order (their 1-based position is the §3.7 switch ID);
+    * ``switches`` — every switch, ToRs first, then any spines;
+    * ``stars`` — the per-rack :class:`StarTopology` access layer.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.tors: List[Any] = []
+        self.switches: List[Any] = []
+        self.stars: List[StarTopology] = []
+
+    # -- placement -----------------------------------------------------
+    def rack_of(self, role: str, index: int) -> int:
+        """Which rack the *index*-th host of *role* lives in."""
+        raise NotImplementedError
+
+    # -- host attachment hooks ----------------------------------------
+    def allocate_ip(self, role: str = "host", index: int = 0) -> int:
+        """Pre-allocate the address a later :meth:`attach` will route."""
+        return self.stars[self.rack_of(role, index)].allocate_ip()
+
+    def attach(self, host: Host, role: str = "host", index: int = 0) -> int:
+        """Cable *host* into its rack and announce it fabric-wide."""
+        rack = self.rack_of(role, index)
+        port = self.stars[rack].add_host(host)
+        self._announce(host, rack)
+        return port
+
+    def _announce(self, host: Host, rack: int) -> None:
+        """Install the inter-rack routes that reach *host* in *rack*."""
+
+    # -- lookups -------------------------------------------------------
+    def link_of(self, host: Host) -> Link:
+        """The access link of *host*, whichever rack it is in."""
+        for star in self.stars:
+            if host.name in star.port_of:
+                return star.link_of(host)
+        raise PortError(f"host {host.name} not attached to any rack")
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks (= ToR switches)."""
+        return len(self.tors)
+
+    def _make_rack(
+        self,
+        make_switch: Callable[[str], Any],
+        rack: int,
+        propagation_ns: int,
+        bandwidth_bps: float,
+        reserved_ports: int = 0,
+        name: Optional[str] = None,
+    ) -> Any:
+        """One ToR plus its access star on the rack's own /24.
+
+        *reserved_ports* top ports are kept back for fabric uplinks so
+        host attachment cannot collide with trunk wiring.  The ToR is
+        appended to ``tors`` **and** ``switches``, so subclasses only
+        extend ``switches`` for non-ToR gear (e.g. spines).
+        """
+        tor = make_switch(name if name is not None else f"tor{rack + 1}")
+        num_ports = getattr(tor, "num_ports", None)
+        if num_ports is not None and num_ports - reserved_ports < 1:
+            raise NetworkError("ToR has no ports left for hosts")
+        self.tors.append(tor)
+        self.switches.append(tor)
+        self.stars.append(
+            StarTopology(
+                self.sim,
+                tor,
+                propagation_ns=propagation_ns,
+                bandwidth_bps=bandwidth_bps,
+                subnet=f"10.0.{rack + 1}.0",
+                max_ports=None if num_ports is None else num_ports - reserved_ports,
+            )
+        )
+        return tor
+
+
+class SingleRackFabric(Fabric):
+    """The paper's testbed: one ToR, every host one cable away."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        make_switch: Callable[[str], Any],
+        propagation_ns: int = 300,
+        bandwidth_bps: float = 100e9,
+    ):
+        super().__init__(sim)
+        self._make_rack(make_switch, 0, propagation_ns, bandwidth_bps, name="tor")
+
+    def rack_of(self, role: str, index: int) -> int:
+        return 0
+
+
+class TwoRackFabric(Fabric):
+    """Two ToRs joined by a trunk; placement is per-role configurable.
+
+    The §3.7 default puts clients (and the coordinator, which acts on
+    their behalf) in rack 0 and servers in rack 1, so every request
+    crosses the trunk and only the client-side ToR does NetClone work.
+    Collapsing both roles onto one rack (``server_rack=client_rack``)
+    degenerates to a single-rack star with an idle trunk — useful for
+    determinism cross-checks.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        make_switch: Callable[[str], Any],
+        client_rack: int = 0,
+        server_rack: int = 1,
+        coordinator_rack: int | None = None,
+        propagation_ns: int = 300,
+        bandwidth_bps: float = 100e9,
+        trunk_propagation_ns: int = 1000,
+        trunk_bandwidth_bps: float = 400e9,
+    ):
+        super().__init__(sim)
+        if coordinator_rack is None:
+            coordinator_rack = client_rack
+        placements = (client_rack, server_rack, int(coordinator_rack))
+        if not all(0 <= rack <= 1 for rack in placements):
+            raise NetworkError("two-rack placement must use racks 0 and 1")
+        self._racks = {
+            "client": client_rack,
+            "server": server_rack,
+            "coordinator": int(coordinator_rack),
+        }
+        for rack in range(2):
+            self._make_rack(
+                make_switch, rack, propagation_ns, bandwidth_bps, reserved_ports=1
+            )
+        tor_a, tor_b = self.tors
+        self.uplink_ports = [tor_a.num_ports - 1, tor_b.num_ports - 1]
+        self.trunk = Link(
+            sim,
+            tor_a,
+            tor_b,
+            propagation_ns=trunk_propagation_ns,
+            bandwidth_bps=trunk_bandwidth_bps,
+            name="trunk",
+        )
+        tor_a.connect(self.uplink_ports[0], self.trunk)
+        tor_b.connect(self.uplink_ports[1], self.trunk)
+
+    def rack_of(self, role: str, index: int) -> int:
+        return self._racks.get(role, 0)
+
+    def _announce(self, host: Host, rack: int) -> None:
+        other = 1 - rack
+        self.tors[other].install_route(host.ip, self.uplink_ports[other])
+
+
+class SpineLeafFabric(Fabric):
+    """``racks`` ToRs fully meshed to ``spines`` plain L3 spines.
+
+    Servers and clients are spread round-robin across racks
+    (host ``i`` lands in rack ``i % racks``); the coordinator lives in
+    rack 0.  Inter-rack traffic to a host is pinned to one spine by the
+    host's address (``ip % spines``) — deterministic ECMP — so a given
+    flow always takes the same path and results are reproducible.
+    ToRs run the scheme's switch program (with their 1-based rack
+    number as §3.7 switch ID); spines stay plain L3.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        make_switch: Callable[[str], Any],
+        racks: int = 2,
+        spines: int = 2,
+        propagation_ns: int = 300,
+        bandwidth_bps: float = 100e9,
+        trunk_propagation_ns: int = 1000,
+        trunk_bandwidth_bps: float = 400e9,
+    ):
+        super().__init__(sim)
+        if racks < 1:
+            raise NetworkError("spine-leaf needs at least one rack")
+        if spines < 1:
+            raise NetworkError("spine-leaf needs at least one spine")
+        for rack in range(racks):
+            self._make_rack(
+                make_switch, rack, propagation_ns, bandwidth_bps, reserved_ports=spines
+            )
+        self.spines = [make_switch(f"spine{s + 1}") for s in range(spines)]
+        self.switches.extend(self.spines)
+        # ToR t's uplink to spine s sits at port (num_ports - 1 - s);
+        # spine s's downlink to ToR t sits at port t.
+        self._uplink_port: List[List[int]] = []
+        for t, tor in enumerate(self.tors):
+            ports = []
+            for s, spine in enumerate(self.spines):
+                if racks > spine.num_ports:
+                    raise NetworkError("spine has fewer ports than racks")
+                port = tor.num_ports - 1 - s
+                link = Link(
+                    sim,
+                    tor,
+                    spine,
+                    propagation_ns=trunk_propagation_ns,
+                    bandwidth_bps=trunk_bandwidth_bps,
+                    name=f"trunk-t{t + 1}s{s + 1}",
+                )
+                tor.connect(port, link)
+                spine.connect(t, link)
+                ports.append(port)
+            self._uplink_port.append(ports)
+
+    def rack_of(self, role: str, index: int) -> int:
+        if role == "coordinator":
+            return 0
+        return index % self.num_racks
+
+    def _announce(self, host: Host, rack: int) -> None:
+        spine = host.ip % len(self.spines)
+        for s in self.spines:
+            s.install_route(host.ip, rack)
+        for t, tor in enumerate(self.tors):
+            if t != rack:
+                tor.install_route(host.ip, self._uplink_port[t][spine])

@@ -280,6 +280,64 @@ def test_worker_raised_errors_propagate_not_retried_serially():
         unregister_scheme("tmp-failing-scheme")
 
 
+def test_workload_spec_ships_once_per_pool_not_per_point():
+    import pickle
+
+    from repro.experiments.executor import _SpecRef, _strip_specs
+    from repro.experiments.specs import KvSpec
+
+    spec = KvSpec(num_keys=200_000)  # the Zipf CDF alone is ~1.6 MB here
+    loads = [0.05e6, 0.1e6, 0.15e6, 0.2e6]
+    configs = [tiny_config(workload=spec, rate_rps=rate) for rate in loads]
+    stripped, table = _strip_specs(configs)
+    # The per-point payload no longer carries the CDF...
+    per_point = max(len(pickle.dumps(config)) for config in stripped)
+    assert per_point < 10_000, f"per-point payload is {per_point} bytes"
+    # ...which lives in the once-per-worker initializer table instead.
+    assert list(table.values()) == [spec]
+    assert len(pickle.dumps(table)) > 1_000_000
+    assert all(isinstance(c.workload, _SpecRef) for c in stripped)
+    # And the worker-side resolution round-trips: parallel == serial.
+    serial = SweepExecutor().run_points(configs[:2])
+    parallel = SweepExecutor(jobs=2).run_points(configs[:2])
+    for a, b in zip(serial, parallel):
+        assert_points_identical(a, b)
+
+
+def test_mixed_workload_batches_keep_distinct_specs():
+    from repro.experiments.executor import _strip_specs
+    from repro.experiments.specs import make_synthetic_spec
+
+    spec_a = make_synthetic_spec("exp", mean_us=25.0)
+    spec_b = make_synthetic_spec("bimodal")
+    configs = [
+        tiny_config(workload=spec_a),
+        tiny_config(workload=spec_b),
+        tiny_config(workload=spec_a),
+    ]
+    stripped, table = _strip_specs(configs)
+    assert len(table) == 2
+    assert stripped[0].workload == stripped[2].workload
+    assert stripped[0].workload != stripped[1].workload
+
+
+def test_submission_order_is_longest_first_but_results_ordered():
+    from repro.experiments.executor import point_cost, submission_order
+
+    rates = [0.05e6, 0.2e6, 0.1e6, 0.2e6]
+    configs = [tiny_config(rate_rps=rate) for rate in rates]
+    order = submission_order(configs)
+    # Costliest first; equal costs keep submission order (stable sort).
+    assert order == [1, 3, 2, 0]
+    costs = [point_cost(configs[i]) for i in order]
+    assert costs == sorted(costs, reverse=True)
+    # Collection still restores the caller's order.
+    points = SweepExecutor(jobs=2).run_points(configs)
+    assert [p.offered_rps for p in points] == [
+        pytest.approx(r, rel=0.2) for r in rates
+    ]
+
+
 def test_resolve_executor_and_point_seed():
     executor = SweepExecutor(jobs=3)
     assert resolve_executor(executor, None) is executor
