@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 18 (trunk saturation vs spine policy)."""
+
+from conftest import run_once
+
+from repro.experiments import fig18_trunk_saturation
+
+
+def bench_fig18_trunk_saturation(benchmark, bench_scale, bench_seed, bench_jobs):
+    report = run_once(
+        benchmark,
+        fig18_trunk_saturation.run,
+        scale=bench_scale,
+        seed=bench_seed,
+        jobs=bench_jobs,
+    )
+    assert "Figure 18" in report
+    assert "least-loaded" in report

@@ -23,6 +23,12 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Sweep worker processes for grid-shaped harnesses (fig17/fig18)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 def run_once(benchmark, fn, **kwargs):
     """Run *fn* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, kwargs=kwargs, iterations=1, rounds=1)

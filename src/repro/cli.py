@@ -7,6 +7,7 @@ Examples::
     repro-netclone topologies
     repro-netclone fig7 --scale 0.25 --jobs 4
     repro-netclone run fig17 --topology spine_leaf --jobs 4
+    repro-netclone fig18 --topology spine_leaf:spines=4,spine_policy=least-loaded
     repro-netclone fig16 resources --seed 7
 """
 
@@ -18,7 +19,7 @@ from typing import List, Optional
 
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.schemes import describe_schemes
-from repro.experiments.topologies import describe_topologies, get_topology
+from repro.experiments.topologies import canonical_topology, describe_topologies
 
 __all__ = ["main"]
 
@@ -58,8 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology",
         "-t",
         default=None,
-        help="fabric to run on (see 'topologies'; default: each "
-        "experiment's own, usually the single-rack star)",
+        help="fabric to run on, with optional inline parameters, e.g. "
+        "spine_leaf:spines=4,spine_policy=least-loaded (see "
+        "'topologies'; default: each experiment's own, usually the "
+        "single-rack star)",
     )
     return parser
 
@@ -71,8 +74,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if experiments and experiments[0] == "run":
         experiments = experiments[1:]
     if args.topology is not None:
-        # Fail fast (and normalise aliases) before any experiment runs.
-        args.topology = get_topology(args.topology).name
+        # Fail fast (and normalise aliases) before any experiment runs;
+        # inline parameters ride along in canonical key=value form.
+        args.topology = canonical_topology(args.topology)
     if args.list or not experiments:
         print("available experiments:")
         for line in list_experiments():

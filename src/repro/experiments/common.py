@@ -29,8 +29,14 @@ from repro.errors import ExperimentError
 from repro.experiments.executor import SweepExecutor, resolve_executor
 from repro.experiments.schemes import SchemeContext, SchemeSpec, get_scheme, scheme_names
 from repro.experiments.specs import WorkloadSpec, make_synthetic_spec
-from repro.experiments.topologies import TopologyContext, TopologySpec, get_topology
+from repro.experiments.topologies import (
+    TopologyContext,
+    TopologySpec,
+    get_topology,
+    parse_topology,
+)
 from repro.metrics.latency import LatencyRecorder
+from repro.metrics.links import trunk_summary
 from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.net.host import Host
 from repro.net.topology import Fabric
@@ -39,7 +45,14 @@ from repro.sim.rng import RngRegistry
 from repro.sim.units import ms
 from repro.workloads.distributions import JitterModel
 
-__all__ = ["Cluster", "ClusterConfig", "SCHEMES", "run_point", "run_sweep"]
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "SCHEMES",
+    "run_point",
+    "run_sweep",
+    "topology_override_kwargs",
+]
 
 
 def __getattr__(name: str):
@@ -55,11 +68,16 @@ class ClusterConfig:
     """Everything needed to build and measure one operating point."""
 
     scheme: str = "netclone"
-    #: Registered fabric name; None means the default single-rack star
-    #: (so harnesses can pass an optional CLI override straight through).
+    #: Registered fabric name, optionally with inline parameters in the
+    #: CLI form ``"spine_leaf:spines=4,spine_policy=least-loaded"``;
+    #: None means the default single-rack star (so harnesses can pass
+    #: an optional CLI override straight through).  Inline parameters
+    #: are merged into ``topology_params`` (inline wins) and the field
+    #: normalises to the bare canonical name.
     topology: Optional[str] = "star"
     #: Free-form knobs for the topology builder (e.g. ``racks``,
-    #: ``spines`` for ``spine_leaf``; rack placement for ``two_rack``).
+    #: ``spines``, ``spine_policy`` for ``spine_leaf``; rack placement
+    #: for ``two_rack``).
     topology_params: Dict[str, Any] = field(default_factory=dict)
     workload: Optional[WorkloadSpec] = None
     num_servers: int = 6
@@ -94,7 +112,14 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         # Resolves aliases and raises ExperimentError on unknown names.
         self.scheme = get_scheme(self.scheme).name
-        self.topology = get_topology(self.topology or "star").name
+        topology_name, inline_params = parse_topology(self.topology or "star")
+        self.topology = topology_name
+        if inline_params:
+            # A fresh dict: topology_params may be shared across
+            # dataclasses.replace() copies and must not be mutated.
+            merged = dict(self.topology_params)
+            merged.update(inline_params)
+            self.topology_params = merged
         if self.workload is None:
             self.workload = make_synthetic_spec("exp", mean_us=25.0)
         if self.num_servers < 2:
@@ -145,6 +170,11 @@ class Cluster:
         self.topology: Fabric = self.topology_spec.make_fabric(
             TopologyContext(sim=self.sim, config=config)
         )
+        # Trunk stats are captured when the clients stop: counting the
+        # drain's response tail (or dividing by a window that includes
+        # the drain) would misstate utilization either way.
+        self._trunk_stats: Optional[Dict[str, float]] = None
+        self.sim.at(config.end_ns, self._capture_trunk_stats)
         self.tors: List[Any] = list(self.topology.tors)
         self.switches: List[Any] = list(self.topology.switches)
         self.switch = self.tors[0]
@@ -232,6 +262,9 @@ class Cluster:
             spec.post_build(context)
 
     # ------------------------------------------------------------------
+    def _capture_trunk_stats(self) -> None:
+        self._trunk_stats = trunk_summary(self.topology.trunks, self.config.end_ns)
+
     def start(self) -> None:
         """Arm every client's arrival process."""
         for client in self.clients:
@@ -266,6 +299,13 @@ class Cluster:
             extra[key] = float(
                 sum(switch.counters.get(key) for switch in self.switches)
             )
+        # The end_ns snapshot, unless the run never got that far (e.g.
+        # a timeline experiment stopped early) — then measure what ran.
+        extra.update(
+            self._trunk_stats
+            if self._trunk_stats is not None
+            else trunk_summary(self.topology.trunks, max(1, self.sim.now))
+        )
         queue_len = getattr(self.coordinator, "queue_len", None)
         if queue_len is not None:
             extra["coordinator_queue"] = float(queue_len)
@@ -289,6 +329,25 @@ def _mean_or_nan(values: Sequence[float]) -> float:
 
 
 # ----------------------------------------------------------------------
+def topology_override_kwargs(
+    config: ClusterConfig, topology: Optional[str]
+) -> Dict[str, Any]:
+    """``replace()`` kwargs applying a sweep-level topology override.
+
+    The override may carry inline params ("spine_leaf:spines=4,...");
+    each point config's ``__post_init__`` folds those into its
+    ``topology_params``.  When the override names a *different* fabric
+    than the config, the config's params belong to the old fabric and
+    are dropped — otherwise e.g. leftover ``spines`` would trip the
+    ``star`` builder's unknown-parameter check.
+    """
+    chosen = topology if topology is not None else config.topology
+    name, inline = parse_topology(chosen or "star")
+    if name != config.topology:
+        return {"topology": name, "topology_params": inline}
+    return {"topology": chosen}
+
+
 def run_point(config: ClusterConfig) -> LoadPoint:
     """Build, run and reduce one operating point."""
     cluster = Cluster(config)
@@ -316,16 +375,10 @@ def run_sweep(
     """
     chosen_scheme = scheme if scheme is not None else config.scheme
     chosen_scheme = get_scheme(chosen_scheme).name
-    chosen_topology = topology if topology is not None else config.topology
-    chosen_topology = get_topology(chosen_topology).name
+    topology_kwargs = topology_override_kwargs(config, topology)
     result = SweepResult(scheme=chosen_scheme, workload=config.workload.name)
     point_configs = [
-        replace(
-            config,
-            scheme=chosen_scheme,
-            topology=chosen_topology,
-            rate_rps=rate,
-        )
+        replace(config, scheme=chosen_scheme, rate_rps=rate, **topology_kwargs)
         for rate in offered_loads_rps
     ]
     for point in resolve_executor(executor, jobs).run_points(point_configs):

@@ -15,10 +15,13 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
-from repro.experiments.common import ClusterConfig, run_sweep
+from repro.experiments.common import (
+    ClusterConfig,
+    run_sweep,
+    topology_override_kwargs,
+)
 from repro.experiments.executor import SweepExecutor, resolve_executor
 from repro.experiments.schemes import get_scheme
-from repro.experiments.topologies import get_topology
 from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.sim.units import ms
 
@@ -88,12 +91,10 @@ def sweep_schemes(
     chosen = resolve_executor(executor, jobs)
     schemes = list(schemes)
     canonical = [get_scheme(scheme).name for scheme in schemes]
-    chosen_topology = get_topology(
-        topology if topology is not None else config.topology
-    ).name
+    topology_kwargs = topology_override_kwargs(config, topology)
     loads = list(loads)
     point_configs = [
-        replace(config, scheme=name, topology=chosen_topology, rate_rps=rate)
+        replace(config, scheme=name, rate_rps=rate, **topology_kwargs)
         for name in canonical
         for rate in loads
     ]

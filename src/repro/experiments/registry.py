@@ -68,6 +68,7 @@ def _ensure_loaded() -> None:
         fig15_filtering,
         fig16_switch_failure,
         fig17_multirack,
+        fig18_trunk_saturation,
         table1_comparison,
         table_resources,
     )

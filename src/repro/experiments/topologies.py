@@ -35,15 +35,24 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.plugin_registry import PluginRegistry
-from repro.net.topology import Fabric, SingleRackFabric, SpineLeafFabric, TwoRackFabric
+from repro.net.topology import (
+    Fabric,
+    SingleRackFabric,
+    SpineLeafFabric,
+    TwoRackFabric,
+    spine_policy_names,
+)
 
 __all__ = [
     "PLUGIN_MODULES",
     "TopologyContext",
     "TopologySpec",
+    "canonical_topology",
     "describe_topologies",
+    "format_topology",
     "get_topology",
     "iter_topologies",
+    "parse_topology",
     "register_topology",
     "registered_modules",
     "topology_names",
@@ -129,6 +138,63 @@ def get_topology(name: str) -> TopologySpec:
     return _IMPL.get(name)
 
 
+def _coerce_param(value: str) -> Any:
+    """``"4"`` → 4, ``"2.5e9"`` → 2.5e9, anything else stays a string."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def parse_topology(value: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=val,key=val"`` into (canonical name, params).
+
+    The bare form (``"spine_leaf"``, or any alias) yields an empty
+    param dict.  Numeric values are coerced, so
+    ``"spine_leaf:spines=4,spine_policy=least-loaded"`` parses to
+    ``("spine_leaf", {"spines": 4, "spine_policy": "least-loaded"})``.
+    Unknown topology names and malformed params raise
+    :class:`~repro.errors.ExperimentError`.
+    """
+    from repro.errors import ExperimentError
+
+    name, sep, rest = str(value).partition(":")
+    canonical = get_topology(name).name
+    params: Dict[str, Any] = {}
+    if sep:
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, eq, raw = item.partition("=")
+            if not eq or not key.strip() or not raw.strip():
+                raise ExperimentError(
+                    f"malformed topology parameter {item!r} in {value!r} "
+                    "(expected key=value)"
+                )
+            params[key.strip()] = _coerce_param(raw.strip())
+    return canonical, params
+
+
+def format_topology(name: str, params: Dict[str, Any]) -> str:
+    """The inverse of :func:`parse_topology` (stable param order)."""
+    if not params:
+        return name
+    return name + ":" + ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def canonical_topology(value: str) -> str:
+    """*value* with the name de-aliased and params in canonical order.
+
+    Validates as a side effect: unknown names and malformed params
+    raise.  Used by the CLI and panel-keyed harnesses so one spelling
+    of ``"spine_leaf:spines=4,..."`` exists everywhere.
+    """
+    return format_topology(*parse_topology(value))
+
+
 def topology_names() -> Tuple[str, ...]:
     """Canonical names of every registered topology, in registration order."""
     return _IMPL.names()
@@ -152,32 +218,106 @@ def registered_modules() -> Tuple[str, ...]:
 # ----------------------------------------------------------------------
 # Built-in fabrics
 # ----------------------------------------------------------------------
+def _check_params(params: Dict[str, Any], known: Tuple[str, ...], topology: str) -> None:
+    """Reject unknown builder knobs.
+
+    A typoed key (``spine=4``, ``trunk_bandwidth_gbps=...``) would
+    otherwise be dropped by ``params.get`` and the experiment would
+    silently run at the defaults while reporting the parameters the
+    user typed.
+    """
+    from repro.errors import ExperimentError
+
+    unknown = sorted(set(params) - set(known))
+    if unknown:
+        raise ExperimentError(
+            f"unknown {topology} parameter(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+
+
+def _strict_int(value: Any) -> int:
+    """``int()`` that refuses to truncate (``2.5`` raises, ``2.0`` is 2)."""
+    if isinstance(value, float) and not value.is_integer():
+        raise ValueError(f"{value!r} is not an integer")
+    return int(value)
+
+
+def _param(params: Dict[str, Any], key: str, default: Any, cast) -> Any:
+    """One builder knob, cast with a diagnosable error.
+
+    An uncastable value ("spines=two") or a silently-lossy one
+    ("racks=2.5") raises ExperimentError naming the parameter, instead
+    of a raw ValueError from inside a cluster build (possibly deep in
+    a sweep worker process) or an experiment quietly running different
+    parameters than it reports.
+    """
+    from repro.errors import ExperimentError
+
+    value = params.get(key, default)
+    try:
+        return cast(value)
+    except (TypeError, ValueError):
+        kind = "int" if cast is _strict_int else cast.__name__
+        raise ExperimentError(
+            f"topology parameter {key}={value!r} must be {kind}"
+        ) from None
+
+
 def _star_fabric(ctx: TopologyContext) -> Fabric:
+    _check_params(ctx.params, (), "star")
     return SingleRackFabric(ctx.sim, ctx.make_switch)
 
 
 def _two_rack_fabric(ctx: TopologyContext) -> Fabric:
     params = ctx.params
+    _check_params(
+        params,
+        ("client_rack", "server_rack", "coordinator_rack",
+         "trunk_propagation_ns", "trunk_bandwidth_bps"),
+        "two_rack",
+    )
     return TwoRackFabric(
         ctx.sim,
         ctx.make_switch,
-        client_rack=int(params.get("client_rack", 0)),
-        server_rack=int(params.get("server_rack", 1)),
-        coordinator_rack=params.get("coordinator_rack"),
-        trunk_propagation_ns=int(params.get("trunk_propagation_ns", 1000)),
-        trunk_bandwidth_bps=float(params.get("trunk_bandwidth_bps", 400e9)),
+        client_rack=_param(params, "client_rack", 0, _strict_int),
+        server_rack=_param(params, "server_rack", 1, _strict_int),
+        # None means "with the clients" and must pass through uncast.
+        coordinator_rack=(
+            None
+            if params.get("coordinator_rack") is None
+            else _param(params, "coordinator_rack", 0, _strict_int)
+        ),
+        trunk_propagation_ns=_param(params, "trunk_propagation_ns", 1000, _strict_int),
+        trunk_bandwidth_bps=_param(params, "trunk_bandwidth_bps", 400e9, float),
     )
 
 
 def _spine_leaf_fabric(ctx: TopologyContext) -> Fabric:
     params = ctx.params
+    _check_params(
+        params,
+        ("racks", "spines", "trunk_propagation_ns", "trunk_bandwidth_bps",
+         "spine_policy", "flowlet_gap_ns"),
+        "spine_leaf",
+    )
+    policy = str(params.get("spine_policy", "ecmp"))
+    if policy not in spine_policy_names():
+        from repro.errors import ExperimentError
+
+        raise ExperimentError(
+            f"topology parameter spine_policy={policy!r} must be one of: "
+            f"{', '.join(sorted(spine_policy_names()))}"
+        )
     return SpineLeafFabric(
         ctx.sim,
         ctx.make_switch,
-        racks=int(params.get("racks", 2)),
-        spines=int(params.get("spines", 2)),
-        trunk_propagation_ns=int(params.get("trunk_propagation_ns", 1000)),
-        trunk_bandwidth_bps=float(params.get("trunk_bandwidth_bps", 400e9)),
+        racks=_param(params, "racks", 2, _strict_int),
+        spines=_param(params, "spines", 2, _strict_int),
+        trunk_propagation_ns=_param(params, "trunk_propagation_ns", 1000, _strict_int),
+        trunk_bandwidth_bps=_param(params, "trunk_bandwidth_bps", 400e9, float),
+        spine_policy=policy,
+        flowlet_gap_ns=_param(params, "flowlet_gap_ns", 100_000, _strict_int),
     )
 
 
@@ -204,7 +344,10 @@ register_topology(
 register_topology(
     TopologySpec(
         name="spine_leaf",
-        description="racks×spines Clos fabric; params: racks, spines (§3.7)",
+        description=(
+            "racks×spines Clos fabric; params: racks, spines, spine_policy "
+            "(ecmp|least-loaded|flowlet), trunk_bandwidth_bps (§3.7)"
+        ),
         make_fabric=_spine_leaf_fabric,
         aliases=("spine-leaf", "clos"),
         module=__name__,

@@ -22,19 +22,30 @@ from repro.net.packet import (
     Packet,
 )
 from repro.net.topology import (
+    EcmpSpinePolicy,
     Fabric,
+    FlowletSpinePolicy,
+    LeastLoadedSpinePolicy,
     SingleRackFabric,
     SpineLeafFabric,
+    SpinePolicy,
     StarTopology,
     TwoRackFabric,
+    make_spine_policy,
+    register_spine_policy,
+    spine_policy_names,
+    unregister_spine_policy,
 )
 from repro.net.trace import PacketTracer, TraceRecord
 
 __all__ = [
+    "EcmpSpinePolicy",
     "EthernetHeader",
     "Fabric",
+    "FlowletSpinePolicy",
     "Host",
     "IPv4Header",
+    "LeastLoadedSpinePolicy",
     "Link",
     "Nic",
     "PROTO_TCP",
@@ -43,6 +54,7 @@ __all__ = [
     "PacketTracer",
     "SingleRackFabric",
     "SpineLeafFabric",
+    "SpinePolicy",
     "StarTopology",
     "TwoRackFabric",
     "TraceRecord",
@@ -51,4 +63,8 @@ __all__ = [
     "format_mac",
     "ip_to_int",
     "mac_to_int",
+    "make_spine_policy",
+    "register_spine_policy",
+    "spine_policy_names",
+    "unregister_spine_policy",
 ]

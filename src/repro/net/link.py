@@ -60,10 +60,58 @@ class Link:
         self._loss_rng = loss_rng if loss_rng is not None else random.Random(0x105)
         self.tx_count = 0
         self.drop_count = 0
+        #: Bytes clocked onto the wire per direction (keyed by the
+        #: sending endpoint's id, like ``_free_at``).  These feed
+        #: congestion-aware route policies and the per-link utilization
+        #: series in :mod:`repro.metrics.links`.
+        self._tx_bytes_from = {id(a): 0, id(b): 0}
+
+    @property
+    def tx_bytes(self) -> int:
+        """Total bytes transmitted, both directions."""
+        return sum(self._tx_bytes_from.values())
 
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to clock *size_bytes* onto the wire at the line rate."""
         return int(round(size_bytes * _BITS / self.bandwidth_bps * 1e9))
+
+    def backlog_ns(self, from_endpoint: Any) -> int:
+        """Serialisation backlog a new packet from *from_endpoint* would
+        queue behind, in nanoseconds (0 when the direction is idle).
+
+        This is the congestion signal the ``least-loaded`` spine policy
+        reads: it is exact (not sampled) and costs nothing to maintain.
+        """
+        key = id(from_endpoint)
+        if key not in self._free_at:
+            raise NetworkError(f"{from_endpoint!r} is not attached to {self.name}")
+        return max(0, self._free_at[key] - self.sim.now)
+
+    def bytes_from(self, from_endpoint: Any) -> int:
+        """Bytes transmitted in the *from_endpoint* → other direction."""
+        key = id(from_endpoint)
+        if key not in self._tx_bytes_from:
+            raise NetworkError(f"{from_endpoint!r} is not attached to {self.name}")
+        return self._tx_bytes_from[key]
+
+    def utilization(self, window_ns: int, from_endpoint: Optional[Any] = None) -> float:
+        """Offered bytes over *window_ns* as a fraction of the line rate.
+
+        Bytes are counted when a packet joins the serialisation queue,
+        so this is *demand*: values above 1.0 mean the direction was
+        oversubscribed and a backlog built up — exactly the saturation
+        signal the trunk experiments report.  With *from_endpoint* the
+        single direction is measured; without, the busier of the two
+        (the link is full duplex, so each direction has the full line
+        rate to itself).
+        """
+        if window_ns <= 0:
+            raise NetworkError("utilization window must be positive")
+        capacity_bits = self.bandwidth_bps * window_ns / 1e9
+        if from_endpoint is not None:
+            return self.bytes_from(from_endpoint) * _BITS / capacity_bits
+        busiest = max(self._tx_bytes_from.values())
+        return busiest * _BITS / capacity_bits
 
     def other_end(self, endpoint: Any) -> Any:
         """The endpoint opposite *endpoint*."""
@@ -95,5 +143,6 @@ class Link:
         self._free_at[key] = done_serialising
         arrival = done_serialising + self.propagation_ns
         self.tx_count += 1
+        self._tx_bytes_from[key] += packet.size
         self.sim.at(arrival, destination.deliver, packet, self)
         return arrival

@@ -24,11 +24,23 @@ placement policy (:meth:`Fabric.rack_of`) decides which rack — and
 therefore which subnet, ToR and inter-rack routes — the host gets.
 Experiment code never wires fabrics by hand; it resolves them through
 the topology plugin registry in :mod:`repro.experiments.topologies`.
+
+Spine selection on :class:`SpineLeafFabric` is a pluggable
+:class:`SpinePolicy`: ``ecmp`` pins each destination ip to one spine
+(a pure function of the address — bit-identical to the original
+static routes), ``least-loaded`` reads the exact serialisation
+backlog of each candidate uplink (:meth:`Link.backlog_ns`) and takes
+the shallowest, and ``flowlet`` keeps a flow on its spine until an
+idle gap lets it re-pick without reordering.  Policies see only the
+*active* spines, so :meth:`SpineLeafFabric.withdraw_spine` /
+:meth:`SpineLeafFabric.restore_spine` give failure drills dynamic
+route updates: withdrawn spines stop receiving new traffic
+immediately while in-flight packets still drain.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError, PortError
 from repro.net.addresses import ip_to_int
@@ -37,11 +49,19 @@ from repro.net.link import Link
 from repro.sim.core import Simulator
 
 __all__ = [
+    "EcmpSpinePolicy",
     "Fabric",
+    "FlowletSpinePolicy",
+    "LeastLoadedSpinePolicy",
     "SingleRackFabric",
     "SpineLeafFabric",
+    "SpinePolicy",
     "StarTopology",
     "TwoRackFabric",
+    "make_spine_policy",
+    "register_spine_policy",
+    "spine_policy_names",
+    "unregister_spine_policy",
 ]
 
 
@@ -113,6 +133,166 @@ class StarTopology:
 
 
 # ----------------------------------------------------------------------
+# Spine selection policies
+# ----------------------------------------------------------------------
+class SpinePolicy:
+    """Picks the uplink spine for one inter-rack packet at a ToR.
+
+    A policy is owned by one :class:`SpineLeafFabric` and consulted at
+    egress time on every remote ToR; it must return the index of an
+    *active* spine.  Selection costs no simulated time (the decision
+    models a match-action lookup already inside the pipeline pass).
+    """
+
+    #: Registry key (``ecmp``, ``least-loaded``, ``flowlet``).
+    name: str = ""
+
+    def __init__(self, fabric: "SpineLeafFabric", **params: Any):
+        self.fabric = fabric
+
+    def select(self, tor: int, packet: Any) -> int:
+        """Index of the spine *packet* should take out of ToR *tor*."""
+        raise NotImplementedError
+
+
+class EcmpSpinePolicy(SpinePolicy):
+    """Deterministic ECMP: a pure function of the destination address.
+
+    With every spine active this reproduces the original static routes
+    (``ip % spines``) bit-for-bit; after a withdrawal the same modulo
+    re-maps over the surviving spines, so recovery needs no state.
+    """
+
+    name = "ecmp"
+
+    def select(self, tor: int, packet: Any) -> int:
+        active = self.fabric.active_spines()
+        return active[packet.dst % len(active)]
+
+
+class LeastLoadedSpinePolicy(SpinePolicy):
+    """Congestion-aware: take the uplink with the shallowest backlog.
+
+    The ECMP choice anchors the search and wins ties, so an idle
+    fabric behaves exactly like ``ecmp`` and the policy only deviates
+    when a trunk actually queues — the near-source congestion
+    signaling that deterministic ECMP lacks.
+    """
+
+    name = "least-loaded"
+
+    def select(self, tor: int, packet: Any) -> int:
+        fabric = self.fabric
+        active = fabric.active_spines()
+        count = len(active)
+        anchor = packet.dst % count
+        best = active[anchor]
+        best_key: Tuple[int, int] = (fabric.uplink_backlog_ns(tor, best), 0)
+        for offset in range(1, count):
+            spine = active[(anchor + offset) % count]
+            key = (fabric.uplink_backlog_ns(tor, spine), offset)
+            if key < best_key:
+                best, best_key = spine, key
+        return best
+
+
+class FlowletSpinePolicy(LeastLoadedSpinePolicy):
+    """Least-loaded at flowlet granularity.
+
+    A (ToR, src, dst) flow sticks to its spine while packets keep
+    coming; after an idle gap of ``flowlet_gap_ns`` the next packet
+    re-picks via the least-loaded rule.  Re-picking only across idle
+    gaps is what lets real fabrics rebalance without reordering.
+    """
+
+    name = "flowlet"
+
+    def __init__(self, fabric: "SpineLeafFabric", **params: Any):
+        super().__init__(fabric, **params)
+        self.gap_ns = int(params.get("flowlet_gap_ns", 100_000))
+        if self.gap_ns < 0:
+            raise NetworkError("flowlet gap must be non-negative")
+        #: (tor, src, dst) -> [spine, last packet time].
+        self._flows: Dict[Tuple[int, int, int], List[int]] = {}
+
+    def select(self, tor: int, packet: Any) -> int:
+        now = self.fabric.sim.now
+        key = (tor, packet.src, packet.dst)
+        entry = self._flows.get(key)
+        if (
+            entry is not None
+            and now - entry[1] <= self.gap_ns
+            and self.fabric.spine_is_active(entry[0])
+        ):
+            entry[1] = now
+            return entry[0]
+        spine = super().select(tor, packet)
+        self._flows[key] = [spine, now]
+        return spine
+
+
+#: Policy name → class; extend via :func:`register_spine_policy`.
+SPINE_POLICIES: Dict[str, Any] = {}
+
+#: Modules that registered policies — shipped to sweep worker
+#: processes (spawn/forkserver start clean) so plugin policies resolve
+#: under ``jobs > 1`` exactly like plugin schemes and topologies.
+_POLICY_MODULES: Dict[str, None] = {}
+
+
+def register_spine_policy(cls):
+    """Register a :class:`SpinePolicy` subclass under its ``name``.
+
+    Usable as a decorator.  Once registered, the policy is reachable
+    from every layer above (``topology_params={"spine_policy": ...}``,
+    ``--topology spine_leaf:spine_policy=...``) with zero further
+    edits.  Duplicate names raise.
+    """
+    name = getattr(cls, "name", "")
+    if not name:
+        raise NetworkError("spine policy classes need a non-empty `name`")
+    if name in SPINE_POLICIES:
+        raise NetworkError(f"spine policy {name!r} already registered")
+    SPINE_POLICIES[name] = cls
+    module = getattr(cls, "__module__", None)
+    if module:
+        _POLICY_MODULES[module] = None
+    return cls
+
+
+def unregister_spine_policy(name: str) -> None:
+    """Remove a policy registration (mainly for tests)."""
+    if name not in SPINE_POLICIES:
+        raise NetworkError(f"spine policy {name!r} is not registered")
+    del SPINE_POLICIES[name]
+
+
+for _cls in (EcmpSpinePolicy, LeastLoadedSpinePolicy, FlowletSpinePolicy):
+    register_spine_policy(_cls)
+del _cls
+
+
+def spine_policy_names() -> Tuple[str, ...]:
+    """Registered spine-policy names."""
+    return tuple(SPINE_POLICIES)
+
+
+def spine_policy_modules() -> Tuple[str, ...]:
+    """Modules that registered policies (for sweep worker re-imports)."""
+    return tuple(_POLICY_MODULES)
+
+
+def make_spine_policy(name: str, fabric: "SpineLeafFabric", **params: Any) -> SpinePolicy:
+    """Instantiate the policy registered under *name* for *fabric*."""
+    try:
+        cls = SPINE_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(SPINE_POLICIES))
+        raise NetworkError(f"unknown spine policy {name!r}; known: {known}") from None
+    return cls(fabric, **params)
+
+
+# ----------------------------------------------------------------------
 # Multi-rack fabrics
 # ----------------------------------------------------------------------
 class Fabric:
@@ -129,7 +309,9 @@ class Fabric:
     * ``tors`` — the program-bearing top-of-rack switches, in rack
       order (their 1-based position is the §3.7 switch ID);
     * ``switches`` — every switch, ToRs first, then any spines;
-    * ``stars`` — the per-rack :class:`StarTopology` access layer.
+    * ``stars`` — the per-rack :class:`StarTopology` access layer;
+    * ``trunks`` — every inter-rack link (empty on a single rack), the
+      set the per-link utilization metrics report on.
     """
 
     def __init__(self, sim: Simulator):
@@ -137,6 +319,7 @@ class Fabric:
         self.tors: List[Any] = []
         self.switches: List[Any] = []
         self.stars: List[StarTopology] = []
+        self.trunks: List[Link] = []
 
     # -- placement -----------------------------------------------------
     def rack_of(self, role: str, index: int) -> int:
@@ -273,6 +456,7 @@ class TwoRackFabric(Fabric):
         )
         tor_a.connect(self.uplink_ports[0], self.trunk)
         tor_b.connect(self.uplink_ports[1], self.trunk)
+        self.trunks.append(self.trunk)
 
     def rack_of(self, role: str, index: int) -> int:
         return self._racks.get(role, 0)
@@ -287,11 +471,18 @@ class SpineLeafFabric(Fabric):
 
     Servers and clients are spread round-robin across racks
     (host ``i`` lands in rack ``i % racks``); the coordinator lives in
-    rack 0.  Inter-rack traffic to a host is pinned to one spine by the
-    host's address (``ip % spines``) — deterministic ECMP — so a given
-    flow always takes the same path and results are reproducible.
-    ToRs run the scheme's switch program (with their 1-based rack
-    number as §3.7 switch ID); spines stay plain L3.
+    rack 0.  Inter-rack traffic picks its spine through the fabric's
+    :class:`SpinePolicy` (``spine_policy``): the default ``ecmp`` pins
+    each destination to ``ip % spines`` — bit-identical to static
+    routing — while ``least-loaded`` and ``flowlet`` read uplink
+    backlog at egress time.  ToRs run the scheme's switch program
+    (with their 1-based rack number as §3.7 switch ID); spines stay
+    plain L3.
+
+    Spines can be withdrawn and restored at runtime
+    (:meth:`withdraw_spine` / :meth:`restore_spine`), which every
+    policy honours on the next packet — the dynamic route updates that
+    spine-failure and trunk-flap drills need.
     """
 
     def __init__(
@@ -304,6 +495,8 @@ class SpineLeafFabric(Fabric):
         bandwidth_bps: float = 100e9,
         trunk_propagation_ns: int = 1000,
         trunk_bandwidth_bps: float = 400e9,
+        spine_policy: str = "ecmp",
+        flowlet_gap_ns: int = 100_000,
     ):
         super().__init__(sim)
         if racks < 1:
@@ -319,8 +512,11 @@ class SpineLeafFabric(Fabric):
         # ToR t's uplink to spine s sits at port (num_ports - 1 - s);
         # spine s's downlink to ToR t sits at port t.
         self._uplink_port: List[List[int]] = []
+        #: Uplink links, indexed ``uplinks[tor][spine]``.
+        self.uplinks: List[List[Link]] = []
         for t, tor in enumerate(self.tors):
             ports = []
+            links = []
             for s, spine in enumerate(self.spines):
                 if racks > spine.num_ports:
                     raise NetworkError("spine has fewer ports than racks")
@@ -336,7 +532,21 @@ class SpineLeafFabric(Fabric):
                 tor.connect(port, link)
                 spine.connect(t, link)
                 ports.append(port)
+                links.append(link)
+                self.trunks.append(link)
             self._uplink_port.append(ports)
+            self.uplinks.append(links)
+        self._spine_up = [True] * spines
+        #: Cached active-spine indices: policies read this per packet,
+        #: so it is rebuilt only on withdraw/restore, not per call.
+        self._active_cache = list(range(spines))
+        #: Per-spine withdrawal generation; a delayed restore callback
+        #: from an older generation must not re-activate the spine.
+        self._spine_epoch = [0] * spines
+        self.policy = make_spine_policy(
+            spine_policy, self, flowlet_gap_ns=flowlet_gap_ns
+        )
+        self._selectors = [self._make_selector(t) for t in range(racks)]
 
     def rack_of(self, role: str, index: int) -> int:
         if role == "coordinator":
@@ -344,9 +554,83 @@ class SpineLeafFabric(Fabric):
         return index % self.num_racks
 
     def _announce(self, host: Host, rack: int) -> None:
-        spine = host.ip % len(self.spines)
         for s in self.spines:
             s.install_route(host.ip, rack)
         for t, tor in enumerate(self.tors):
             if t != rack:
-                tor.install_route(host.ip, self._uplink_port[t][spine])
+                tor.install_dynamic_route(host.ip, self._selectors[t])
+
+    def _make_selector(self, tor: int) -> Callable[[Any], int]:
+        """The per-packet uplink chooser installed on ToR *tor*."""
+
+        def select(packet: Any) -> int:
+            return self._uplink_port[tor][self.policy.select(tor, packet)]
+
+        return select
+
+    # -- policy support ------------------------------------------------
+    def active_spines(self) -> List[int]:
+        """Indices of spines currently accepting new traffic.
+
+        Returns the fabric's cached list (rebuilt on withdraw/restore,
+        read per packet by the policies) — callers must not mutate it.
+        """
+        return self._active_cache
+
+    def spine_is_active(self, spine: int) -> bool:
+        """Whether *spine* is currently accepting new traffic."""
+        return 0 <= spine < len(self._spine_up) and self._spine_up[spine]
+
+    def uplink_backlog_ns(self, tor: int, spine: int) -> int:
+        """Serialisation backlog on ToR *tor*'s uplink to *spine*."""
+        return self.uplinks[tor][spine].backlog_ns(self.tors[tor])
+
+    # -- failure drills ------------------------------------------------
+    def withdraw_spine(self, spine: int, fail: bool = False) -> None:
+        """Stop steering new traffic through *spine*.
+
+        Route withdrawal is hitless: packets already on the wire (or
+        queued at the spine) still drain.  With ``fail=True`` the spine
+        switch is also powered off, so those in-flight packets become
+        the drop window the drill measures.  Withdrawing the last
+        active spine raises (the fabric would partition).
+        """
+        if not 0 <= spine < len(self.spines):
+            raise NetworkError(f"no spine {spine} in a {len(self.spines)}-spine fabric")
+        if self._spine_up[spine] and len(self.active_spines()) == 1:
+            raise NetworkError("cannot withdraw the last active spine")
+        self._spine_up[spine] = False
+        self._spine_epoch[spine] += 1
+        self._rebuild_active_cache()
+        if fail:
+            self.spines[spine].fail()
+
+    def restore_spine(self, spine: int, reinit_delay_ns: int = 0) -> None:
+        """Steer traffic through *spine* again (recovering it if failed).
+
+        With a re-initialisation delay the routes come back only once
+        the switch is forwarding again, so restoration never opens a
+        second drop window.
+        """
+        if not 0 <= spine < len(self.spines):
+            raise NetworkError(f"no spine {spine} in a {len(self.spines)}-spine fabric")
+        switch = self.spines[spine]
+        if getattr(switch, "down", False):
+            switch.recover(reinit_delay_ns)
+        if reinit_delay_ns > 0:
+            self.sim.schedule(
+                reinit_delay_ns, self._mark_spine_up, spine, self._spine_epoch[spine]
+            )
+        else:
+            self._mark_spine_up(spine, self._spine_epoch[spine])
+
+    def _mark_spine_up(self, spine: int, epoch: int) -> None:
+        # A flap drill may withdraw again while a delayed restore is
+        # pending; the stale callback (older epoch) must not win.
+        if epoch != self._spine_epoch[spine]:
+            return
+        self._spine_up[spine] = True
+        self._rebuild_active_cache()
+
+    def _rebuild_active_cache(self) -> None:
+        self._active_cache = [s for s, up in enumerate(self._spine_up) if up]

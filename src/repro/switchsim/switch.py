@@ -72,10 +72,15 @@ class ProgrammableSwitch:
         self.recirc_latency_ns = recirc_latency_ns
         self.num_ports = num_ports
         self.ports: Dict[int, Link] = {}
-        self.routes: Dict[int, int] = {}
+        #: Destination ip → egress port, or → a per-packet selector
+        #: callable (see :meth:`install_dynamic_route`).
+        self.routes: Dict[int, Any] = {}
         self.program: Optional[SwitchProgram] = None
         self.counters = Counter()
         self.down = False
+        # Failure generation: a recovery scheduled before a later
+        # fail() must not power the switch back on (flap drills).
+        self._power_epoch = 0
 
     # ------------------------------------------------------------------
     # Wiring (used by StarTopology)
@@ -93,6 +98,20 @@ class ProgrammableSwitch:
         if port not in self.ports:
             raise PortError(f"cannot route to unconnected port {port}")
         self.routes[ip] = port
+
+    def install_dynamic_route(self, ip: int, selector: Any) -> None:
+        """Map destination *ip* to a per-packet port chooser.
+
+        *selector* is called as ``selector(packet) -> Optional[int]``
+        at egress time, so multipath fabrics can pick among several
+        uplinks per packet (ECMP, least-loaded, flowlet — see
+        :mod:`repro.net.topology`).  Returning ``None`` or an
+        unconnected port drops the packet via the ``no_route`` counter,
+        exactly like a missing static route.
+        """
+        if not callable(selector):
+            raise SwitchError("dynamic route selector must be callable")
+        self.routes[ip] = selector
 
     def remove_route(self, ip: int) -> None:
         """Remove the route for *ip* (e.g. failed server)."""
@@ -163,6 +182,8 @@ class ProgrammableSwitch:
     def _egress(self, packet: Packet, port: Optional[int]) -> None:
         if port is None:
             port = self.routes.get(packet.dst)
+            if port is not None and not isinstance(port, int):
+                port = port(packet)
         if port is None:
             self.counters.incr("no_route")
             return
@@ -179,6 +200,7 @@ class ProgrammableSwitch:
     def fail(self) -> None:
         """Power the switch off: all traffic is dropped."""
         self.down = True
+        self._power_epoch += 1
         self.counters.incr("failures")
 
     def recover(self, reinit_delay_ns: int = 0) -> None:
@@ -196,9 +218,13 @@ class ProgrammableSwitch:
         if reinit_delay_ns <= 0:
             self.down = False
         else:
-            self.sim.schedule(reinit_delay_ns, self._finish_recovery)
+            self.sim.schedule(reinit_delay_ns, self._finish_recovery, self._power_epoch)
 
-    def _finish_recovery(self) -> None:
+    def _finish_recovery(self, epoch: int) -> None:
+        # A fail() during the re-init delay bumps the epoch; the stale
+        # recovery callback must not power the switch back on.
+        if epoch != self._power_epoch:
+            return
         self.down = False
         self.counters.incr("recoveries")
 

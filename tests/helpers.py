@@ -1,0 +1,45 @@
+"""Shared helpers for the test suite.
+
+Import explicitly (``from helpers import tiny_config``); not a
+conftest.py on purpose — that module name is claimed by
+benchmarks/conftest.py and would collide when both trees are
+collected in one pytest run.
+"""
+
+import math
+
+from repro.experiments.common import ClusterConfig
+from repro.sim.units import ms
+
+
+def tiny_config(**overrides):
+    """A cluster config small enough for sub-second runs."""
+    defaults = dict(
+        scheme="netclone",
+        num_servers=3,
+        workers_per_server=4,
+        num_clients=2,
+        rate_rps=0.2e6,
+        warmup_ns=ms(1),
+        measure_ns=ms(3),
+        drain_ns=ms(1),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def assert_points_identical(a, b):
+    """Field-by-field LoadPoint equality that treats nan == nan."""
+
+    def same(x, y):
+        if isinstance(x, float) and math.isnan(x):
+            return isinstance(y, float) and math.isnan(y)
+        return x == y
+
+    for name in ("offered_rps", "throughput_rps", "p50_us", "p99_us", "p999_us",
+                 "mean_us", "samples"):
+        assert same(getattr(a, name), getattr(b, name)), name
+    assert a.extra.keys() == b.extra.keys()
+    for key in a.extra:
+        assert same(a.extra[key], b.extra[key]), key

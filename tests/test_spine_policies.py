@@ -1,0 +1,447 @@
+"""Spine policies, dynamic route updates, failure drills, and fig18.
+
+Covers the new congestion-aware spine selection axis end to end: the
+policy classes in isolation, the CLI/topology-param plumbing that
+selects them, equivalence of the dynamic ``ecmp`` path with the
+pre-PR static routes, live withdraw/restore drills on a running
+cluster, and determinism of the fig18 trunk-saturation grid.
+"""
+
+import pytest
+from helpers import assert_points_identical, tiny_config
+
+from repro.errors import ExperimentError, NetworkError
+from repro.experiments.common import Cluster, ClusterConfig, run_point
+from repro.experiments.harness import sweep_schemes
+from repro.experiments.topologies import (
+    TopologySpec,
+    format_topology,
+    parse_topology,
+    register_topology,
+    unregister_topology,
+)
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.topology import SpineLeafFabric, make_spine_policy
+from repro.sim.core import Simulator
+from repro.sim.units import ms, us
+from repro.switchsim.switch import ProgrammableSwitch
+
+
+def make_fabric(**kwargs):
+    sim = Simulator()
+    fabric = SpineLeafFabric(
+        sim, lambda name: ProgrammableSwitch(sim, name=name), **kwargs
+    )
+    return sim, fabric
+
+
+def probe(dst, src=1):
+    return Packet(src=src, dst=dst, sport=1, dport=1, size=64)
+
+
+# ----------------------------------------------------------------------
+# Policy units
+# ----------------------------------------------------------------------
+def test_unknown_spine_policy_raises_with_known_names():
+    sim, fabric = make_fabric(racks=2, spines=2)
+    with pytest.raises(NetworkError, match="least-loaded"):
+        make_spine_policy("hottest-first", fabric)
+    with pytest.raises(NetworkError):
+        make_fabric(racks=2, spines=2, spine_policy="hottest-first")
+
+
+def test_least_loaded_avoids_a_backlogged_uplink():
+    sim, fabric = make_fabric(racks=2, spines=2, spine_policy="least-loaded")
+    server = Host(sim, "s0", fabric.allocate_ip("server", 0))
+    fabric.attach(server, "server", 0)
+    selector = fabric.tors[1].routes[server.ip]
+    anchor = server.ip % 2
+    assert selector(probe(server.ip)) == fabric._uplink_port[1][anchor]
+    # Pile bytes onto the anchor uplink: the policy must swerve.
+    big = Packet(src=1, dst=server.ip, sport=1, dport=1, size=500_000)
+    fabric.uplinks[1][anchor].send(big, fabric.tors[1])
+    assert fabric.uplink_backlog_ns(1, anchor) > 0
+    assert selector(probe(server.ip)) == fabric._uplink_port[1][1 - anchor]
+
+
+def test_flowlet_sticks_within_gap_and_repicks_after_idle():
+    sim, fabric = make_fabric(
+        racks=2, spines=2, spine_policy="flowlet", flowlet_gap_ns=us(10)
+    )
+    server = Host(sim, "s0", fabric.allocate_ip("server", 0))
+    fabric.attach(server, "server", 0)
+    selector = fabric.tors[1].routes[server.ip]
+    anchor = server.ip % 2
+    first = selector(probe(server.ip))
+    assert first == fabric._uplink_port[1][anchor]
+    # Backlog the anchor (~100 us at 400 Gb/s, outlasting the gap):
+    # a packet inside the gap still sticks ...
+    big = Packet(src=1, dst=server.ip, sport=1, dport=1, size=5_000_000)
+    fabric.uplinks[1][anchor].send(big, fabric.tors[1])
+    assert selector(probe(server.ip)) == first
+    # ... but after an idle gap the flowlet re-picks off the hot trunk.
+    sim.run(until=us(20))
+    assert fabric.uplink_backlog_ns(1, anchor) > 0
+    assert selector(probe(server.ip)) == fabric._uplink_port[1][1 - anchor]
+
+
+def test_withdraw_and_restore_update_routes_dynamically():
+    sim, fabric = make_fabric(racks=2, spines=2)
+    server = Host(sim, "s0", fabric.allocate_ip("server", 0))
+    fabric.attach(server, "server", 0)
+    selector = fabric.tors[1].routes[server.ip]
+    pinned = server.ip % 2
+    assert selector(probe(server.ip)) == fabric._uplink_port[1][pinned]
+    fabric.withdraw_spine(pinned)
+    assert fabric.active_spines() == [1 - pinned]
+    assert selector(probe(server.ip)) == fabric._uplink_port[1][1 - pinned]
+    with pytest.raises(NetworkError, match="last active spine"):
+        fabric.withdraw_spine(1 - pinned)
+    fabric.restore_spine(pinned)
+    assert selector(probe(server.ip)) == fabric._uplink_port[1][pinned]
+    with pytest.raises(NetworkError, match="no spine"):
+        fabric.withdraw_spine(7)
+
+
+def test_flap_during_delayed_restore_stays_withdrawn():
+    # withdraw -> delayed restore -> withdraw again before the delay
+    # elapses: the stale restore callback must not re-activate the
+    # spine behind the second withdrawal's back.
+    sim, fabric = make_fabric(racks=2, spines=2)
+    fabric.withdraw_spine(0)
+    fabric.restore_spine(0, reinit_delay_ns=us(10))
+    fabric.withdraw_spine(0)
+    sim.run(until=us(50))
+    assert fabric.active_spines() == [1]
+    fabric.restore_spine(0)
+    assert fabric.active_spines() == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Topology-param plumbing (CLI form)
+# ----------------------------------------------------------------------
+def test_parse_topology_round_trip_and_coercion():
+    name, params = parse_topology("spine_leaf:spines=4,spine_policy=least-loaded")
+    assert name == "spine_leaf"
+    assert params == {"spines": 4, "spine_policy": "least-loaded"}
+    assert parse_topology("clos") == ("spine_leaf", {})
+    assert format_topology(name, params) == (
+        "spine_leaf:spine_policy=least-loaded,spines=4"
+    )
+    assert parse_topology("spine_leaf:trunk_bandwidth_bps=2.5e9")[1] == {
+        "trunk_bandwidth_bps": 2.5e9
+    }
+    with pytest.raises(ExperimentError, match="key=value"):
+        parse_topology("spine_leaf:spines")
+    with pytest.raises(ExperimentError):
+        parse_topology("moebius:spines=4")
+
+
+def test_config_merges_inline_params_inline_wins():
+    config = ClusterConfig(
+        topology="spine_leaf:spines=4,spine_policy=flowlet",
+        topology_params={"spines": 2, "racks": 3},
+    )
+    assert config.topology == "spine_leaf"
+    assert config.topology_params == {
+        "racks": 3, "spines": 4, "spine_policy": "flowlet"
+    }
+
+
+def test_cluster_builds_policy_from_inline_params():
+    cluster = Cluster(
+        tiny_config(topology="spine_leaf:racks=2,spines=2,spine_policy=least-loaded")
+    )
+    assert cluster.topology.policy.name == "least-loaded"
+    assert len(cluster.topology.spines) == 2
+
+
+def test_topology_override_drops_stale_params_from_other_fabric():
+    from repro.experiments.common import run_sweep
+
+    # A config born with inline spine params, later swept on star: the
+    # leftover `spines` must not trip star's unknown-parameter check.
+    config = tiny_config(topology="spine_leaf:racks=2,spines=2")
+    result = run_sweep(config, [0.1e6], topology="star")
+    assert result.points[0].samples > 0
+    series = sweep_schemes(config, ["baseline"], [0.1e6], topology="star")
+    assert series["baseline"].points[0].samples > 0
+    # Same fabric: config params and inline override params merge.
+    merged = run_sweep(config, [0.1e6], topology="spine_leaf:spine_policy=flowlet")
+    assert merged.points[0].samples > 0
+
+
+def test_sweep_schemes_accepts_param_topology_override():
+    series = sweep_schemes(
+        tiny_config(),
+        ["baseline"],
+        [0.1e6],
+        topology="spine_leaf:racks=2,spines=2,spine_policy=least-loaded",
+    )
+    assert series["baseline"].points[0].samples > 0
+
+
+def test_cli_rejects_malformed_topology_params():
+    from repro.cli import main
+
+    with pytest.raises(ExperimentError, match="key=value"):
+        main(["fig17", "--topology", "spine_leaf:spines"])
+
+
+def test_typoed_topology_param_raises_instead_of_silently_defaulting():
+    with pytest.raises(ExperimentError, match="unknown spine_leaf parameter"):
+        run_point(tiny_config(topology="spine_leaf:spine=4"))
+    with pytest.raises(ExperimentError, match="trunk_bandwidth_bps"):
+        run_point(tiny_config(topology="spine_leaf:trunk_bandwidth_gbps=0.5"))
+    with pytest.raises(ExperimentError, match="unknown star parameter"):
+        run_point(tiny_config(topology="star:racks=2"))
+    with pytest.raises(ExperimentError, match="must be int"):
+        run_point(tiny_config(topology="spine_leaf:spines=two"))
+    with pytest.raises(ExperimentError, match="key=value"):
+        parse_topology("spine_leaf:spines=")
+
+
+def test_plugin_spine_policy_reachable_from_topology_params():
+    from repro.net.topology import (
+        SpinePolicy,
+        register_spine_policy,
+        unregister_spine_policy,
+    )
+
+    @register_spine_policy
+    class _AlwaysLast(SpinePolicy):
+        name = "always-last"
+
+        def select(self, tor, packet):
+            return self.fabric.active_spines()[-1]
+
+    try:
+        with pytest.raises(NetworkError, match="already registered"):
+            register_spine_policy(_AlwaysLast)
+        point = run_point(
+            tiny_config(topology="spine_leaf:racks=2,spines=2,spine_policy=always-last")
+        )
+        assert point.samples > 0
+        # The registering module ships to sweep workers, like the
+        # scheme/topology registries.
+        from repro.experiments.executor import SweepExecutor
+        from repro.net.topology import spine_policy_modules
+
+        assert __name__ in spine_policy_modules()
+        assert __name__ in SweepExecutor._registered_plugin_modules()
+    finally:
+        unregister_spine_policy("always-last")
+    with pytest.raises(NetworkError):
+        unregister_spine_policy("always-last")
+
+
+def test_link_load_series_counts_and_formats():
+    from repro.metrics.links import collect_link_loads, format_link_loads
+
+    sim, fabric = make_fabric(racks=2, spines=1)
+    server = Host(sim, "s0", fabric.allocate_ip("server", 0))
+    fabric.attach(server, "server", 0)
+    trunk = fabric.uplinks[1][0]
+    trunk.send(probe(server.ip), fabric.tors[1])
+    trunk.send(probe(server.ip), fabric.tors[1])
+    loads = collect_link_loads(fabric.trunks, window_ns=ms(1))
+    by_name = {load.name: load for load in loads}
+    assert by_name[trunk.name].tx_bytes == 128
+    assert by_name[trunk.name].tx_count == 2
+    assert by_name[trunk.name].utilization == pytest.approx(
+        128 * 8 / (trunk.bandwidth_bps * 1e-3)
+    )
+    table = format_link_loads(loads)
+    assert trunk.name in table and "util" in table
+
+
+# ----------------------------------------------------------------------
+# Dynamic ECMP == pre-PR static routes
+# ----------------------------------------------------------------------
+class _StaticEcmpSpineLeaf(SpineLeafFabric):
+    """The pre-PR fabric: spine pinned by ip at announce time."""
+
+    def _announce(self, host, rack):
+        spine = host.ip % len(self.spines)
+        for s in self.spines:
+            s.install_route(host.ip, rack)
+        for t, tor in enumerate(self.tors):
+            if t != rack:
+                tor.install_route(host.ip, self._uplink_port[t][spine])
+
+
+def test_dynamic_ecmp_matches_pre_pr_static_routing_bitwise():
+    register_topology(
+        TopologySpec(
+            name="static-ecmp-spine-leaf",
+            description="pre-PR static ECMP replica (test only)",
+            make_fabric=lambda ctx: _StaticEcmpSpineLeaf(
+                ctx.sim,
+                ctx.make_switch,
+                racks=int(ctx.params.get("racks", 2)),
+                spines=int(ctx.params.get("spines", 2)),
+            ),
+        )
+    )
+    try:
+        params = {"racks": 2, "spines": 2}
+        dynamic = run_point(
+            tiny_config(topology="spine_leaf", topology_params=params)
+        )
+        static = run_point(
+            tiny_config(topology="static-ecmp-spine-leaf", topology_params=params)
+        )
+        assert_points_identical(dynamic, static)
+    finally:
+        unregister_topology("static-ecmp-spine-leaf")
+
+
+# ----------------------------------------------------------------------
+# Failure drills on a live cluster
+# ----------------------------------------------------------------------
+def spine_ingress_bytes(fabric, spine):
+    """Bytes sent *toward* one spine across every ToR uplink."""
+    return sum(
+        fabric.uplinks[t][spine].bytes_from(fabric.tors[t])
+        for t in range(fabric.num_racks)
+    )
+
+
+def test_hitless_withdraw_reroutes_without_losing_requests():
+    config = tiny_config(
+        topology="spine_leaf", topology_params={"racks": 2, "spines": 2}
+    )
+    cluster = Cluster(config)
+    fabric = cluster.topology
+    pinned_loads = {}
+
+    def snapshot(key):
+        pinned_loads[key] = spine_ingress_bytes(fabric, 0)
+
+    # Restore well before the clients stop (end of measure window) so
+    # live traffic exercises the restored routes.
+    t_withdraw, t_restore = ms(2), ms(3)
+    cluster.sim.at(t_withdraw, fabric.withdraw_spine, 0)
+    cluster.sim.at(t_withdraw + 1, snapshot, "after_withdraw")
+    cluster.sim.at(t_restore, snapshot, "before_restore")
+    cluster.sim.at(t_restore, fabric.restore_spine, 0)
+    cluster.start()
+    cluster.run()
+    point = cluster.load_point()
+
+    # Traffic re-routed: not one byte entered spine 0 while withdrawn.
+    assert pinned_loads["after_withdraw"] == pinned_loads["before_restore"]
+    # Recovery: the restored spine carries traffic again.
+    assert spine_ingress_bytes(fabric, 0) > pinned_loads["before_restore"]
+    # Hitless: nothing anywhere dropped a packet, no request went dark.
+    for star in fabric.stars:
+        assert all(link.drop_count == 0 for link in star.links)
+    assert all(trunk.drop_count == 0 for trunk in fabric.trunks)
+    for switch in fabric.switches:
+        assert switch.counters.get("no_route") == 0
+        assert switch.counters.get("rx_dropped_down") == 0
+    assert point.extra["redundant_responses"] == 0
+    assert point.samples > 0
+
+
+def test_failed_spine_drill_drops_only_the_window_and_recovers():
+    # A long trunk keeps packets in flight when the spine powers off,
+    # so the drill has a real (bounded) drop window to measure.
+    params = {"racks": 2, "spines": 2, "trunk_propagation_ns": us(50)}
+    baseline = run_point(
+        tiny_config(topology="spine_leaf", topology_params=dict(params))
+    )
+
+    config = tiny_config(topology="spine_leaf", topology_params=dict(params))
+    cluster = Cluster(config)
+    fabric = cluster.topology
+    cluster.sim.at(ms(2), fabric.withdraw_spine, 0, True)
+    cluster.sim.at(ms(3), fabric.restore_spine, 0, us(100))
+    cluster.start()
+    cluster.run()
+    point = cluster.load_point()
+
+    failed = fabric.spines[0]
+    # The drop window existed (in-flight packets died at the dark spine)
+    # but stayed a window: cloning masks single-copy losses, so nearly
+    # every request still completed and none were double-delivered.
+    assert failed.counters.get("rx_dropped_down") > 0
+    assert point.extra["redundant_responses"] == 0
+    assert point.samples >= 0.95 * baseline.samples
+    # Counters stay fabric-consistent on every spine: what came in
+    # either went out, died with the power, or had no route.
+    for spine in fabric.spines:
+        rx = spine.counters.get("rx")
+        accounted = (
+            spine.counters.get("tx")
+            + spine.counters.get("dropped_down")
+            + spine.counters.get("no_route")
+        )
+        assert rx == accounted
+    # Recovery: the failed spine forwards again after restore.
+    assert failed.counters.get("recoveries") == 1
+
+
+# ----------------------------------------------------------------------
+# fig18 determinism
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_fig18_grid_parallel_matches_serial():
+    from repro.experiments import fig18_trunk_saturation as fig18
+
+    serial = fig18.collect(scale=0.05, seed=3, jobs=1)
+    parallel = fig18.collect(scale=0.05, seed=3, jobs=4)
+    assert serial.keys() == parallel.keys()
+    for key in serial:
+        cells_a, cells_b = serial[key], parallel[key]
+        assert [gbps for gbps, _ in cells_a] == [gbps for gbps, _ in cells_b]
+        for (_, a), (_, b) in zip(cells_a, cells_b):
+            assert_points_identical(a, b)
+
+
+def test_fig18_rejects_trunkless_topologies():
+    from repro.experiments import fig18_trunk_saturation as fig18
+
+    with pytest.raises(ExperimentError, match="spine_leaf"):
+        fig18.collect(topology="star")
+
+
+def test_fig18_pinned_policy_and_bandwidth_shape_the_grid():
+    from repro.experiments.fig18_trunk_saturation import TRUNK_GBPS, _policies
+
+    # Pinned ecmp runs only ecmp; a congestion-aware pin races ecmp.
+    assert _policies(None) == ("ecmp", "least-loaded", "flowlet")
+    assert _policies("ecmp") == ("ecmp",)
+    assert _policies("flowlet") == ("ecmp", "flowlet")
+    assert len(TRUNK_GBPS) == 4
+
+
+def test_bad_coordinator_rack_raises_diagnosable_error():
+    with pytest.raises(ExperimentError, match="coordinator_rack"):
+        run_point(tiny_config(topology="two_rack:coordinator_rack=x"))
+
+
+def test_fractional_int_param_raises_instead_of_truncating():
+    with pytest.raises(ExperimentError, match="racks=2.5"):
+        run_point(tiny_config(topology="spine_leaf:racks=2.5"))
+
+
+def test_typoed_spine_policy_raises_experiment_error_with_choices():
+    with pytest.raises(ExperimentError, match="least-loaded"):
+        run_point(tiny_config(topology="spine_leaf:spine_policy=least-loded"))
+
+
+def test_refailed_switch_stays_down_through_stale_recovery():
+    # fail -> recover(delay) -> fail again before the delay elapses:
+    # the pending recovery callback must not power the switch back on.
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim, name="spine")
+    switch.fail()
+    switch.recover(reinit_delay_ns=us(10))
+    switch.fail()
+    sim.run(until=us(50))
+    assert switch.down
+    assert switch.counters.get("recoveries") == 0
+    switch.recover()
+    assert not switch.down

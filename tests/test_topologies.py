@@ -7,9 +7,8 @@ program installation with SWID gating, multi-rack determinism
 and the CLI surface (``topologies`` subcommand, ``--topology``).
 """
 
-import math
-
 import pytest
+from helpers import assert_points_identical, tiny_config
 
 from repro.cli import main
 from repro.errors import ExperimentError, NetworkError
@@ -23,43 +22,11 @@ from repro.experiments.topologies import (
     unregister_topology,
 )
 from repro.net.host import Host
+from repro.net.packet import Packet
 from repro.net.topology import SingleRackFabric, SpineLeafFabric, TwoRackFabric
 from repro.sim.core import Simulator
 from repro.sim.units import ms
 from repro.switchsim.switch import ProgrammableSwitch
-
-
-def tiny_config(**overrides):
-    """A cluster config small enough for sub-second runs."""
-    defaults = dict(
-        scheme="netclone",
-        num_servers=3,
-        workers_per_server=4,
-        num_clients=2,
-        rate_rps=0.2e6,
-        warmup_ns=ms(1),
-        measure_ns=ms(3),
-        drain_ns=ms(1),
-        seed=7,
-    )
-    defaults.update(overrides)
-    return ClusterConfig(**defaults)
-
-
-def assert_points_identical(a, b):
-    """Field-by-field LoadPoint equality that treats nan == nan."""
-
-    def same(x, y):
-        if isinstance(x, float) and math.isnan(x):
-            return isinstance(y, float) and math.isnan(y)
-        return x == y
-
-    for name in ("offered_rps", "throughput_rps", "p50_us", "p99_us", "p999_us",
-                 "mean_us", "samples"):
-        assert same(getattr(a, name), getattr(b, name)), name
-    assert a.extra.keys() == b.extra.keys()
-    for key in a.extra:
-        assert same(a.extra[key], b.extra[key]), key
 
 
 # ----------------------------------------------------------------------
@@ -178,13 +145,16 @@ def test_spine_leaf_fabric_round_robin_and_ecmp_routes():
     assert fabric.rack_of("coordinator", 5) == 0
     host = Host(sim, "h", fabric.allocate_ip("server", 1))
     fabric.attach(host, "server", 1)
-    # Every spine knows the way down; remote ToRs pin one spine by ip.
+    # Every spine knows the way down; remote ToRs steer through the
+    # spine policy, which defaults to ECMP pinning one spine by ip.
     for spine in fabric.spines:
         assert spine.routes[host.ip] == 1
     chosen = host.ip % 2
+    probe = Packet(src=1, dst=host.ip, sport=1, dport=1, size=64)
     for t in (0, 2):
-        port = fabric.tors[t].routes[host.ip]
-        assert port == fabric._uplink_port[t][chosen]
+        selector = fabric.tors[t].routes[host.ip]
+        assert callable(selector)
+        assert selector(probe) == fabric._uplink_port[t][chosen]
     # The local ToR routes directly, not via a spine.
     assert fabric.tors[1].routes[host.ip] < fabric.tors[1].num_ports - 2
 
