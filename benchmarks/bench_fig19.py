@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 19 (placement locality vs trunk pressure)."""
+
+from conftest import run_once
+
+from repro.experiments import fig19_locality
+
+
+def bench_fig19_locality(benchmark, bench_scale, bench_seed, bench_jobs):
+    report = run_once(
+        benchmark,
+        fig19_locality.run,
+        scale=bench_scale,
+        seed=bench_seed,
+        jobs=bench_jobs,
+    )
+    assert "Figure 19" in report
+    assert "rack-local" in report

@@ -5,9 +5,11 @@ Examples::
     repro-netclone --list
     repro-netclone schemes
     repro-netclone topologies
+    repro-netclone placements
     repro-netclone fig7 --scale 0.25 --jobs 4
     repro-netclone run fig17 --topology spine_leaf --jobs 4
     repro-netclone fig18 --topology spine_leaf:spines=4,spine_policy=least-loaded
+    repro-netclone fig19 --placement rack-weighted:p=0.7 --jobs 4
     repro-netclone fig16 resources --seed 7
 """
 
@@ -17,11 +19,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.placements import canonical_placement, describe_placements
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.schemes import describe_schemes
 from repro.experiments.topologies import canonical_topology, describe_topologies
 
 __all__ = ["main"]
+
+#: Pseudo-experiment ids that list a plugin registry instead of running.
+_LISTINGS = {
+    "schemes": ("registered schemes:", describe_schemes),
+    "topologies": ("registered topologies:", describe_topologies),
+    "placements": ("registered placements:", describe_placements),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,10 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (fig7..fig17, table1, resources), "
-        "'schemes' to list the registered schemes, or 'topologies' to "
-        "list the registered fabrics (an optional leading 'run' is "
-        "accepted and ignored)",
+        help="experiment ids to run (fig7..fig19, table1, resources), or "
+        "'schemes' / 'topologies' / 'placements' to list the registered "
+        "plugins of one axis (an optional leading 'run' is accepted and "
+        "ignored)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -64,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'topologies'; default: each experiment's own, usually the "
         "single-rack star)",
     )
+    parser.add_argument(
+        "--placement",
+        "-p",
+        default=None,
+        help="group-table placement policy, with optional inline "
+        "parameters, e.g. rack-local or rack-weighted:p=0.7 (see "
+        "'placements'; default: global — the paper's single global "
+        "candidate-pair table)",
+    )
     return parser
 
 
@@ -77,22 +96,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Fail fast (and normalise aliases) before any experiment runs;
         # inline parameters ride along in canonical key=value form.
         args.topology = canonical_topology(args.topology)
+    if args.placement is not None:
+        args.placement = canonical_placement(args.placement)
     if args.list or not experiments:
         print("available experiments:")
         for line in list_experiments():
             print(f"  {line}")
         print("  schemes — list registered load-balancing/cloning schemes")
         print("  topologies — list registered fabric layouts")
+        print("  placements — list registered group-placement policies")
         return 0
     for experiment_id in experiments:
-        if experiment_id == "schemes":
-            print("registered schemes:")
-            for line in describe_schemes():
-                print(f"  {line}")
-            continue
-        if experiment_id == "topologies":
-            print("registered topologies:")
-            for line in describe_topologies():
+        listing = _LISTINGS.get(experiment_id)
+        if listing is not None:
+            title, describe = listing
+            print(title)
+            for line in describe():
                 print(f"  {line}")
             continue
         harness = get_experiment(experiment_id)
@@ -101,6 +120,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             topology=args.topology,
+            placement=args.placement,
         )
     return 0
 

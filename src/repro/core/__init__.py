@@ -2,6 +2,8 @@
 
 * :mod:`header` — the NetClone wire header (Figure 3).
 * :mod:`groups` — group-ID construction (§3.3's ordered server pairs).
+* :mod:`placement` — rack-aware placement policies turning the group
+  construction into per-ToR tables (global / rack-local / weighted).
 * :mod:`program` — the switch data-plane program (Algorithm 1),
   compiled into the PISA pipeline model with state + shadow tables,
   hashed filter tables, multicast cloning and recirculation.
@@ -22,8 +24,16 @@ from repro.core.constants import (
     STATE_IDLE,
     VIRTUAL_SERVICE_IP,
 )
-from repro.core.groups import build_group_pairs, install_group_table
+from repro.core.groups import build_group_pairs, install_group_table, ordered_pairs
 from repro.core.header import NetCloneHeader
+from repro.core.placement import (
+    GlobalPlacement,
+    GroupTable,
+    PlacementContext,
+    PlacementPolicy,
+    RackLocalPlacement,
+    RackWeightedPlacement,
+)
 from repro.core.program import NetCloneProgram
 from repro.core.racksched import NetCloneRackSchedProgram, RackSchedProgram
 from repro.core.client import NetCloneClient
@@ -33,6 +43,8 @@ __all__ = [
     "CLO_CLONED_COPY",
     "CLO_CLONED_ORIGINAL",
     "CLO_NOT_CLONED",
+    "GlobalPlacement",
+    "GroupTable",
     "MSG_REQ",
     "MSG_RESP",
     "NETCLONE_UDP_PORT",
@@ -40,11 +52,16 @@ __all__ = [
     "NetCloneHeader",
     "NetCloneProgram",
     "NetCloneRackSchedProgram",
+    "PlacementContext",
+    "PlacementPolicy",
+    "RackLocalPlacement",
     "RackSchedProgram",
+    "RackWeightedPlacement",
     "RpcServer",
     "STATE_BUSY",
     "STATE_IDLE",
     "VIRTUAL_SERVICE_IP",
     "build_group_pairs",
     "install_group_table",
+    "ordered_pairs",
 ]

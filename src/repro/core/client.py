@@ -6,11 +6,20 @@ addressed to a virtual service IP with a randomly chosen *group ID*
 index*; the switch does the rest.  Both the request and its responses
 carry the reserved NetClone UDP port so the ToR applies the custom
 logic in both directions.
+
+Group IDs are drawn from the client's **local ToR's** group table
+(:class:`~repro.core.placement.GroupTable`): on a multi-rack fabric
+each ToR may install a different, placement-aware pair set, and the
+table also carries the sampling rule (uniform, or a rack-local /
+global probability mix).  The legacy ``num_groups`` form — a uniform
+draw over a dense group-ID space — remains for hand-assembled
+testbeds and for control-plane updates that shrink the group count
+after a server failure.
 """
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.apps.client import OpenLoopClient
 from repro.core.constants import (
@@ -20,6 +29,7 @@ from repro.core.constants import (
     VIRTUAL_SERVICE_IP,
 )
 from repro.core.header import NetCloneHeader
+from repro.core.placement import GroupTable
 from repro.core.program import CLO_NEVER_CLONE
 from repro.errors import ExperimentError
 from repro.net.packet import Packet
@@ -30,20 +40,53 @@ __all__ = ["NetCloneClient"]
 class NetCloneClient(OpenLoopClient):
     """Open-loop client speaking the NetClone protocol."""
 
-    def __init__(self, *args: Any, num_groups: int, num_filter_tables: int = 2, **kwargs: Any):
+    def __init__(
+        self,
+        *args: Any,
+        num_groups: Optional[int] = None,
+        group_table: Optional[GroupTable] = None,
+        num_filter_tables: int = 2,
+        **kwargs: Any,
+    ):
         super().__init__(*args, **kwargs)
+        if group_table is not None:
+            if num_groups is not None and num_groups != group_table.num_groups:
+                raise ExperimentError(
+                    f"num_groups={num_groups} conflicts with the "
+                    f"{group_table.num_groups}-group table"
+                )
+            num_groups = group_table.num_groups
+        if num_groups is None:
+            raise ExperimentError(
+                "NetClone clients need a group_table or a num_groups count"
+            )
         if num_groups < 2:
             raise ExperimentError("NetClone needs at least two groups (two servers)")
         if num_filter_tables < 1:
             raise ExperimentError("need at least one filter table")
+        self.group_table = group_table
         self.num_groups = num_groups
         self.num_filter_tables = num_filter_tables
+
+    def _pick_group(self) -> int:
+        """One group ID from the local ToR's table.
+
+        When a control-plane update (e.g. a server-failure rebuild)
+        re-points ``num_groups`` at a smaller dense space, the cached
+        table is stale and the draw falls back to the uniform rule over
+        the updated count — the switch-side rebuild always installs a
+        dense uniform table.
+        """
+        table = self.group_table
+        if table is not None and table.num_groups == self.num_groups:
+            return table.sample(self.rng)
+        return self.rng.randrange(self.num_groups)
 
     def build_packets(self, request: Any) -> List[Packet]:
         header = NetCloneHeader(
             msg_type=MSG_REQ,
             req_id=0,  # assigned by the switch
-            grp=self.rng.randrange(self.num_groups),
+            grp=self._pick_group(),
             sid=0,
             state=0,
             clo=CLO_NEVER_CLONE if getattr(request, "write", False) else CLO_NOT_CLONED,

@@ -6,16 +6,36 @@ servers — because the switch forwards non-cloned requests to the
 *first* candidate, so keeping both orders of each pair preserves the
 randomness of server selection.  (With only {Srv1, Srv2} and never
 {Srv2, Srv1}, all non-cloned requests would herd onto Srv1.)
+
+*Which* servers are candidates for which clients is a placement
+decision; :func:`ordered_pairs` is the construction primitive the
+placement policies in :mod:`repro.core.placement` build per-ToR group
+tables from, and :func:`build_group_pairs` is the seed-era global
+special case (every server, IDs ``0..n-1``).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.switchsim.tables import MatchActionTable
 
-__all__ = ["build_group_pairs", "install_group_table"]
+__all__ = ["build_group_pairs", "install_group_table", "ordered_pairs"]
+
+
+def ordered_pairs(server_ids: Sequence[int]) -> List[Tuple[int, int]]:
+    """All ordered pairs of distinct IDs from *server_ids*, in order.
+
+    Deterministic: pairs are emitted in first-major order following the
+    sequence given, so equal inputs always yield equal tables.
+    """
+    ids = list(server_ids)
+    if len(ids) < 2:
+        raise ExperimentError("NetClone requires at least two servers")
+    return [
+        (first, second) for first in ids for second in ids if first != second
+    ]
 
 
 def build_group_pairs(num_servers: int) -> List[Tuple[int, int]]:
@@ -24,14 +44,7 @@ def build_group_pairs(num_servers: int) -> List[Tuple[int, int]]:
     Group ID *g* maps to ``pairs[g]``.  Requires at least two servers
     (NetClone needs a pair for redundancy, §5.3.2).
     """
-    if num_servers < 2:
-        raise ExperimentError("NetClone requires at least two servers")
-    pairs = []
-    for first in range(num_servers):
-        for second in range(num_servers):
-            if first != second:
-                pairs.append((first, second))
-    return pairs
+    return ordered_pairs(range(num_servers))
 
 
 def install_group_table(table: MatchActionTable, num_servers: int) -> int:

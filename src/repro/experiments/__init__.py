@@ -8,7 +8,7 @@ IDs (``fig7``, ``fig13``, ``table1``, ...) to those entry points;
 out over worker processes, and ``--topology NAME`` re-runs it on any
 registered fabric.
 
-Cluster assembly is generic over **two** plugin axes that compose
+Cluster assembly is generic over **three** plugin axes that compose
 freely:
 
 * **scheme** (:mod:`repro.experiments.schemes`) — what runs: the
@@ -17,7 +17,12 @@ freely:
   on: single-rack star, two-rack trunk, spine-leaf Clos, or any
   registered fabric.  The scheme's switch program is installed once
   per ToR with that rack's §3.7 switch ID, so ToR-only cloning works
-  on every fabric.
+  on every fabric;
+* **placement** (:mod:`repro.experiments.placements`) — where request
+  redundancy lands: which candidate server pairs each ToR's §3.3
+  group table holds (``global``, ``rack-local``,
+  ``rack-weighted:p=…``), selected via ``ClusterConfig.placement`` /
+  ``--placement``.
 
 Adding a scheme
 ---------------
@@ -71,8 +76,36 @@ and run ``ClusterConfig(scheme=..., topology="my-fabric")`` — every
 registered scheme, sweep and figure harness picks it up unchanged.
 Fabric knobs travel in ``ClusterConfig.topology_params`` (e.g.
 ``{"racks": 3, "spines": 2}`` for ``spine_leaf``).
+
+Adding a placement
+------------------
+Placement policies are plugins on the same machinery.  Implement a
+policy (subclass :class:`repro.core.placement.PlacementPolicy`:
+reduce a rack→server map to one
+:class:`~repro.core.placement.GroupTable` per ToR), then register it::
+
+    from repro.experiments.placements import PlacementSpec, register_placement
+
+    @register_placement
+    def _my_placement() -> PlacementSpec:
+        return PlacementSpec(
+            name="my-placement",
+            description="shown by `repro-netclone placements`",
+            make_policy=lambda params: MyPolicy(**params),
+        )
+
+and run ``ClusterConfig(scheme="netclone", placement="my-placement")``.
+Factories must reject unknown parameters — a typo must never silently
+fall back to ``global``.
 """
 
+from repro.experiments.placements import (
+    PlacementSpec,
+    describe_placements,
+    get_placement,
+    placement_names,
+    register_placement,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 from repro.experiments.schemes import (
     SchemeSpec,
@@ -91,14 +124,19 @@ from repro.experiments.topologies import (
 
 __all__ = [
     "EXPERIMENTS",
+    "PlacementSpec",
     "SchemeSpec",
     "TopologySpec",
+    "describe_placements",
     "describe_schemes",
     "describe_topologies",
     "get_experiment",
+    "get_placement",
     "get_scheme",
     "get_topology",
     "list_experiments",
+    "placement_names",
+    "register_placement",
     "register_scheme",
     "register_topology",
     "scheme_names",

@@ -5,18 +5,22 @@ the fabric (ToR switches, optionally spines), client hosts, worker
 servers (plus a coordinator host when the scheme deploys one) — runs
 it, and reduces the run to a :class:`~repro.metrics.sweep.LoadPoint`.
 
-Neither schemes nor topologies are hardcoded here: :class:`Cluster`
-is generic assembly driven by two plugin registries —
-:mod:`repro.experiments.schemes` (what runs: clients, switch
-programs, coordinators) and :mod:`repro.experiments.topologies` (what
-it runs on: single-rack star, two-rack trunk, spine-leaf Clos).  Any
-scheme composes with any topology: the scheme's switch program is
-installed once per ToR with that rack's §3.7 switch ID, so the SWID
-gate keeps exactly one ToR responsible for each client's requests.
-``repro-netclone schemes`` / ``repro-netclone topologies`` list both
-axes, and new entries self-register from their own modules (see the
-how-to in :mod:`repro.experiments`) without touching this file.
-``SCHEMES`` below is derived from the registry.
+Neither schemes, topologies nor placements are hardcoded here:
+:class:`Cluster` is generic assembly driven by three plugin
+registries — :mod:`repro.experiments.schemes` (what runs: clients,
+switch programs, coordinators), :mod:`repro.experiments.topologies`
+(what it runs on: single-rack star, two-rack trunk, spine-leaf Clos)
+and :mod:`repro.experiments.placements` (where request redundancy
+lands: which candidate pairs each ToR's group table holds).  Any
+scheme composes with any topology and placement: the scheme's switch
+program is installed once per ToR with that rack's §3.7 switch ID and
+that rack's placement-built group table, so the SWID gate keeps
+exactly one ToR responsible for each client's requests and clients
+draw group IDs valid on their own ToR.  ``repro-netclone schemes`` /
+``topologies`` / ``placements`` list the axes, and new entries
+self-register from their own modules (see the how-to in
+:mod:`repro.experiments`) without touching this file.  ``SCHEMES``
+below is derived from the registry.
 """
 
 from __future__ import annotations
@@ -25,8 +29,14 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.apps.client import OpenLoopClient
+from repro.core.placement import PlacementContext, as_group_table
 from repro.errors import ExperimentError
 from repro.experiments.executor import SweepExecutor, resolve_executor
+from repro.experiments.placements import (
+    PlacementSpec,
+    get_placement,
+    parse_placement,
+)
 from repro.experiments.schemes import SchemeContext, SchemeSpec, get_scheme, scheme_names
 from repro.experiments.specs import WorkloadSpec, make_synthetic_spec
 from repro.experiments.topologies import (
@@ -49,6 +59,7 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "SCHEMES",
+    "placement_override_kwargs",
     "run_point",
     "run_sweep",
     "topology_override_kwargs",
@@ -79,6 +90,17 @@ class ClusterConfig:
     #: ``spines``, ``spine_policy`` for ``spine_leaf``; rack placement
     #: for ``two_rack``).
     topology_params: Dict[str, Any] = field(default_factory=dict)
+    #: Registered placement policy governing which candidate pairs each
+    #: ToR's group table holds (``global`` | ``rack-local`` |
+    #: ``rack-weighted``), optionally with inline parameters in the CLI
+    #: form ``"rack-weighted:p=0.7"``; None means ``global`` — the
+    #: seed's bit-identical single global table.  Inline parameters are
+    #: merged into ``placement_params`` (inline wins) and the field
+    #: normalises to the bare canonical name.
+    placement: Optional[str] = "global"
+    #: Free-form knobs for the placement policy (e.g. ``p`` for
+    #: ``rack-weighted``).
+    placement_params: Dict[str, Any] = field(default_factory=dict)
     workload: Optional[WorkloadSpec] = None
     num_servers: int = 6
     workers_per_server: Union[int, Sequence[int]] = 15
@@ -120,6 +142,16 @@ class ClusterConfig:
             merged = dict(self.topology_params)
             merged.update(inline_params)
             self.topology_params = merged
+        placement_name, inline_placement = parse_placement(self.placement or "global")
+        self.placement = placement_name
+        if inline_placement:
+            merged = dict(self.placement_params)
+            merged.update(inline_placement)
+            self.placement_params = merged
+        # Build (and discard) the policy once so a typoed knob fails
+        # here with a diagnosable error, not deep inside a sweep worker
+        # — and never silently runs the policy defaults.
+        get_placement(placement_name).make_policy(dict(self.placement_params))
         if self.workload is None:
             self.workload = make_synthetic_spec("exp", mean_us=25.0)
         if self.num_servers < 2:
@@ -164,6 +196,12 @@ class Cluster:
         self.config = config
         self.scheme_spec: SchemeSpec = get_scheme(config.scheme)
         self.topology_spec: TopologySpec = get_topology(config.topology)
+        self.placement_spec: PlacementSpec = get_placement(config.placement)
+        # Built before any simulation state so a bad placement param
+        # fails fast with a diagnosable error, whatever the scheme.
+        self.placement = self.placement_spec.make_policy(
+            dict(config.placement_params)
+        )
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
         self.recorder = LatencyRecorder(warmup_ns=config.warmup_ns, end_ns=config.end_ns)
@@ -183,6 +221,7 @@ class Cluster:
         self.coordinator: Optional[Host] = None
         self.programs: List[Any] = []
         self.program: Optional[Any] = None
+        self.group_tables: List[Any] = []
         self._build()
 
     # ------------------------------------------------------------------
@@ -219,6 +258,7 @@ class Cluster:
             fabric.attach(server, "server", index)
             self.servers.append(server)
         context.server_ips = [server.ip for server in self.servers]
+        context.server_racks = fabric.racks_of("server", config.num_servers)
 
         if spec.make_coordinator is not None:
             self.coordinator = spec.make_coordinator(context)
@@ -227,18 +267,33 @@ class Cluster:
         if spec.make_program is not None:
             # One program instance per ToR (registers are per switch);
             # the 1-based rack number is the §3.7 switch ID the SWID
-            # gate compares against.
+            # gate compares against, and each ToR installs its own
+            # placement-built group table — the scheme's group_pairs
+            # hook overrides the cluster placement policy when set.
+            placement_ctx = PlacementContext(
+                server_racks=tuple(context.server_racks),
+                num_racks=fabric.num_racks,
+            )
             for rack, tor in enumerate(self.tors):
                 context.switch_id = rack + 1
+                if spec.group_pairs is not None:
+                    table = as_group_table(spec.group_pairs(context, rack))
+                else:
+                    table = self.placement.group_table(placement_ctx, rack)
+                context.group_table = table
+                context.group_tables.append(table)
                 program = spec.make_program(context)
                 tor.install_program(program)
                 self.programs.append(program)
             context.switch_id = 1
             self.program = self.programs[0]
             context.program = self.program
+            context.group_table = context.group_tables[0]
+            self.group_tables = context.group_tables
 
         per_client_rate = config.rate_rps / config.num_clients
         for index in range(config.num_clients):
+            context.client_index = index
             common = dict(
                 sim=self.sim,
                 name=f"client{index + 1}",
@@ -348,6 +403,23 @@ def topology_override_kwargs(
     return {"topology": chosen}
 
 
+def placement_override_kwargs(
+    config: ClusterConfig, placement: Optional[str]
+) -> Dict[str, Any]:
+    """``replace()`` kwargs applying a sweep-level placement override.
+
+    The twin of :func:`topology_override_kwargs`: the override may
+    carry inline params ("rack-weighted:p=0.7"), and when it names a
+    *different* policy than the config, the config's params belong to
+    the old policy and are dropped.
+    """
+    chosen = placement if placement is not None else config.placement
+    name, inline = parse_placement(chosen or "global")
+    if name != config.placement:
+        return {"placement": name, "placement_params": inline}
+    return {"placement": chosen}
+
+
 def run_point(config: ClusterConfig) -> LoadPoint:
     """Build, run and reduce one operating point."""
     cluster = Cluster(config)
@@ -363,22 +435,24 @@ def run_sweep(
     jobs: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> SweepResult:
     """Measure one throughput-latency curve.
 
     *config* provides everything but the rate (and optionally the
-    scheme and topology); each load re-runs an independent cluster
-    with the same seed so curves differ only in offered load.  With
-    ``jobs > 1`` (or an explicit *executor*) the points run in
+    scheme, topology and placement); each load re-runs an independent
+    cluster with the same seed so curves differ only in offered load.
+    With ``jobs > 1`` (or an explicit *executor*) the points run in
     parallel worker processes; results are bit-identical to the serial
     path because every point seeds its own RNG registry.
     """
     chosen_scheme = scheme if scheme is not None else config.scheme
     chosen_scheme = get_scheme(chosen_scheme).name
-    topology_kwargs = topology_override_kwargs(config, topology)
+    override_kwargs = topology_override_kwargs(config, topology)
+    override_kwargs.update(placement_override_kwargs(config, placement))
     result = SweepResult(scheme=chosen_scheme, workload=config.workload.name)
     point_configs = [
-        replace(config, scheme=chosen_scheme, rate_rps=rate, **topology_kwargs)
+        replace(config, scheme=chosen_scheme, rate_rps=rate, **override_kwargs)
         for rate in offered_loads_rps
     ]
     for point in resolve_executor(executor, jobs).run_points(point_configs):

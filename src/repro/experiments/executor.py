@@ -227,11 +227,12 @@ class SweepExecutor:
 
     @staticmethod
     def _registered_plugin_modules() -> Tuple[str, ...]:
-        from repro.experiments import schemes, topologies
+        from repro.experiments import placements, schemes, topologies
         from repro.net.topology import spine_policy_modules
 
         modules = set(schemes.registered_modules())
         modules.update(topologies.registered_modules())
+        modules.update(placements.registered_modules())
         modules.update(spine_policy_modules())
         return tuple(sorted(modules))
 

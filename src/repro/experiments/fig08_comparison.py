@@ -40,7 +40,11 @@ WORKERS = 15
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """Both panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
@@ -50,6 +54,7 @@ def collect(
             ClusterConfig(
                 workload=spec,
                 topology=topology,
+                placement=placement,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -63,11 +68,15 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 8 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology, placement=placement).items():
         notes = [
             f"max throughput (MRPS): LAEDGE {series['laedge'].max_throughput_mrps():.2f} "
             f"< C-Clone {series['cclone'].max_throughput_mrps():.2f} "
@@ -81,5 +90,11 @@ def run(
 
 
 @register("fig8", "scalability comparison: C-Clone vs LAEDGE vs NetClone")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

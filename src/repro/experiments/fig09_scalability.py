@@ -32,7 +32,11 @@ WORKERS = 15
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[int, Dict[str, SweepResult]]:
     """Curves keyed by server count then scheme."""
     results: Dict[int, Dict[str, SweepResult]] = {}
@@ -43,6 +47,7 @@ def collect(
             ClusterConfig(
                 workload=spec,
                 topology=topology,
+                placement=placement,
                 num_servers=num_servers,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -56,10 +61,14 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 9 and return the formatted report."""
-    results = collect(scale, seed, jobs=jobs, topology=topology)
+    results = collect(scale, seed, jobs=jobs, topology=topology, placement=placement)
     sections = []
     tput = {
         n: results[n]["netclone"].max_throughput_mrps() for n in SERVER_COUNTS
@@ -81,5 +90,11 @@ def run(
 
 
 @register("fig9", "impact of the number of worker servers (2/4/6)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

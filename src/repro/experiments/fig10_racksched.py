@@ -44,7 +44,11 @@ NUM_SERVERS = 6
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """All four panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
@@ -54,6 +58,7 @@ def collect(
             ClusterConfig(
                 workload=spec,
                 topology=topology,
+                placement=placement,
                 num_servers=NUM_SERVERS,
                 workers_per_server=workers,
                 seed=seed,
@@ -70,11 +75,15 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 10 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology, placement=placement).items():
         mid = series["baseline"].points[len(series["baseline"].points) // 2].offered_rps
         notes = [
             f"p99 at mid load: Baseline {series['baseline'].p99_at_load(mid):.0f} us, "
@@ -89,5 +98,11 @@ def run(
 
 
 @register("fig10", "NetClone with RackSched, homogeneous and heterogeneous clusters")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

@@ -47,7 +47,11 @@ QUICK_KEYS = 100_000
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """Both mix panels' curves, keyed by panel then scheme."""
     results: Dict[str, Dict[str, SweepResult]] = {}
@@ -60,6 +64,7 @@ def collect(
             ClusterConfig(
                 workload=spec,
                 topology=topology,
+                placement=placement,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
@@ -77,11 +82,15 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 11 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology, placement=placement).items():
         base = series["baseline"]
         netclone = series["netclone"]
         low = base.points[0].offered_rps
@@ -108,5 +117,11 @@ def run(
 
 
 @register("fig11", "Redis key-value store, 99/1 and 90/10 GET/SCAN mixes")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

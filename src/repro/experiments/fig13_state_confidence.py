@@ -43,12 +43,18 @@ def _effective_capacity(config: ClusterConfig) -> float:
     return raw / inflation
 
 
-def _base_config(scale: float, seed: int, topology: Optional[str] = None) -> ClusterConfig:
+def _base_config(
+    scale: float,
+    seed: int,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> ClusterConfig:
     spec = make_synthetic_spec("exp", mean_us=25.0)
     return scaled_config(
         ClusterConfig(
             workload=spec,
             topology=topology,
+            placement=placement,
             num_servers=NUM_SERVERS,
             workers_per_server=WORKERS,
             seed=seed,
@@ -62,9 +68,10 @@ def collect_empty_queue(
     seed: int = 1,
     executor: Optional[SweepExecutor] = None,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> List[Tuple[float, float]]:
     """(load fraction, empty-queue fraction) samples for panel (a)."""
-    config = _base_config(scale, seed, topology)
+    config = _base_config(scale, seed, topology, placement)
     capacity = _effective_capacity(config)
     fractions = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
     if scale < 0.4:
@@ -88,9 +95,10 @@ def collect_repeated_p99(
     repeats: int = REPEATS,
     executor: Optional[SweepExecutor] = None,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Tuple[float, float]]:
     """Mean and std of p99 over repeated runs at 90 % load (panel b)."""
-    config = _base_config(scale, seed, topology)
+    config = _base_config(scale, seed, topology, placement)
     rate = _effective_capacity(config) * HIGH_LOAD_FRACTION
     schemes = ("baseline", "netclone")
     configs = [
@@ -107,14 +115,21 @@ def collect_repeated_p99(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 13 and return the formatted report."""
     executor = SweepExecutor(jobs=jobs)
-    empty = collect_empty_queue(scale, seed, executor=executor, topology=topology)
+    empty = collect_empty_queue(
+        scale, seed, executor=executor, topology=topology, placement=placement
+    )
     repeats = REPEATS if scale >= 1.0 else max(3, int(REPEATS * scale))
     stats = collect_repeated_p99(
-        scale, seed, repeats=repeats, executor=executor, topology=topology
+        scale, seed, repeats=repeats, executor=executor, topology=topology,
+        placement=placement
     )
     lines = ["== Figure 13 (a): portion of empty queues vs offered load =="]
     lines.append(
@@ -152,5 +167,11 @@ def run(
 
 
 @register("fig13", "confidence of the empty-queue state signal")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

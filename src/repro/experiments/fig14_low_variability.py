@@ -38,7 +38,11 @@ WORKERS = 15
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """Both panels' curves with p = 0.001."""
     results: Dict[str, Dict[str, SweepResult]] = {}
@@ -48,6 +52,7 @@ def collect(
             ClusterConfig(
                 workload=spec,
                 topology=topology,
+                placement=placement,
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 jitter_p=JITTER_P,
@@ -62,11 +67,15 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 14 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs, topology=topology).items():
+    for panel, series in collect(scale, seed, jobs=jobs, topology=topology, placement=placement).items():
         base = series["baseline"]
         netclone = series["netclone"]
         low = base.points[0].offered_rps
@@ -82,5 +91,11 @@ def run(
 
 
 @register("fig14", "low service-time variability (p=0.001)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

@@ -33,7 +33,11 @@ WORKERS = 15
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, SweepResult]:
     """The three curves keyed by scheme."""
     spec = make_synthetic_spec("exp", mean_us=25.0)
@@ -41,6 +45,7 @@ def collect(
         ClusterConfig(
             workload=spec,
             topology=topology,
+            placement=placement,
             num_servers=NUM_SERVERS,
             workers_per_server=WORKERS,
             seed=seed,
@@ -53,10 +58,14 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 15 and return the formatted report."""
-    series = collect(scale, seed, jobs=jobs, topology=topology)
+    series = collect(scale, seed, jobs=jobs, topology=topology, placement=placement)
     points = series["baseline"].points
     high = points[max(0, len(points) - 3)].offered_rps
     low = series["baseline"].points[0].offered_rps
@@ -77,5 +86,11 @@ def run(
 
 
 @register("fig15", "ablation: redundant response filtering on/off")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

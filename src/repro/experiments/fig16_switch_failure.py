@@ -40,7 +40,10 @@ REINIT_S = 3
 
 
 def collect(
-    scale: float = 1.0, seed: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Tuple[List[float], List[float], dict]:
     """(window starts s, throughput KRPS per window, integrity stats)."""
     horizon_s = HORIZON_S if scale >= 1.0 else max(10, int(HORIZON_S * scale))
@@ -48,6 +51,7 @@ def collect(
     config = ClusterConfig(
         scheme="netclone",
         topology=topology,
+        placement=placement,
         workload=spec,
         num_servers=NUM_SERVERS,
         workers_per_server=WORKERS,
@@ -76,7 +80,11 @@ def collect(
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 16 and return the formatted report.
 
@@ -85,7 +93,7 @@ def run(
     independent-point batch to fan out.  The injected failure hits the
     primary (first) ToR of whatever *topology* is selected.
     """
-    starts, rates, stats = collect(scale, seed, topology=topology)
+    starts, rates, stats = collect(scale, seed, topology=topology, placement=placement)
     lines = ["== Figure 16: throughput under a switch failure =="]
     lines.append(
         format_table(
@@ -115,5 +123,11 @@ def run(
 
 
 @register("fig16", "throughput timeline across a switch failure and recovery")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, topology=topology, placement=placement)

@@ -50,6 +50,7 @@ def collect(
     seed: int = 1,
     jobs: int = 1,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Dict[str, SweepResult]]:
     """One panel per fabric (or just *topology* when given).
 
@@ -64,6 +65,7 @@ def collect(
     config = scaled_config(
         ClusterConfig(
             workload=spec,
+            placement=placement,
             num_servers=NUM_SERVERS,
             workers_per_server=WORKERS,
             seed=seed,
@@ -96,9 +98,10 @@ def run(
     seed: int = 1,
     jobs: int = 1,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 17 and return the formatted report."""
-    results = collect(scale, seed, jobs=jobs, topology=topology)
+    results = collect(scale, seed, jobs=jobs, topology=topology, placement=placement)
     sections = []
     for fabric, series in results.items():
         base = series["baseline"]
@@ -135,6 +138,10 @@ def run(
 
 @register("fig17", "multi-rack fabrics: same schemes over star/two-rack/spine-leaf (§3.7)")
 def _run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

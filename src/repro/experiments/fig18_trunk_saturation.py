@@ -72,6 +72,7 @@ def collect(
     seed: int = 1,
     jobs: int = 1,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[Tuple[str, str], List[Cell]]:
     """(scheme, policy) → cells over the trunk-bandwidth grid.
 
@@ -107,6 +108,7 @@ def collect(
         ClusterConfig(
             workload=spec,
             topology=name,
+            placement=placement,
             num_servers=NUM_SERVERS,
             workers_per_server=WORKERS,
             num_clients=NUM_CLIENTS,
@@ -144,9 +146,10 @@ def run(
     seed: int = 1,
     jobs: int = 1,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Run Figure 18 and return the formatted report."""
-    results = collect(scale, seed, jobs=jobs, topology=topology)
+    results = collect(scale, seed, jobs=jobs, topology=topology, placement=placement)
     lines = ["== Figure 18: trunk saturation vs cloning rate vs spine policy =="]
     rows = []
     for (scheme, policy), cells in results.items():
@@ -214,6 +217,10 @@ def run(
     "trunk saturation: trunk bandwidth × cloning scheme × spine policy on spine-leaf",
 )
 def _run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     ClusterConfig,
+    placement_override_kwargs,
     run_sweep,
     topology_override_kwargs,
 )
@@ -80,21 +81,24 @@ def sweep_schemes(
     jobs: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
     topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, SweepResult]:
     """One curve per scheme over the same load grid.
 
     The whole scheme × load grid is flattened into one batch so a
     parallel executor keeps every worker busy across curves, not just
     within one; the serial default matches ``run_sweep`` per scheme.
-    *topology* overrides the config's fabric for every curve.
+    *topology* / *placement* override the config's fabric and group
+    placement for every curve.
     """
     chosen = resolve_executor(executor, jobs)
     schemes = list(schemes)
     canonical = [get_scheme(scheme).name for scheme in schemes]
-    topology_kwargs = topology_override_kwargs(config, topology)
+    override_kwargs = topology_override_kwargs(config, topology)
+    override_kwargs.update(placement_override_kwargs(config, placement))
     loads = list(loads)
     point_configs = [
-        replace(config, scheme=name, rate_rps=rate, **topology_kwargs)
+        replace(config, scheme=name, rate_rps=rate, **override_kwargs)
         for name in canonical
         for rate in loads
     ]

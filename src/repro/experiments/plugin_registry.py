@@ -20,9 +20,53 @@ from typing import Any, Dict, List, Tuple
 
 from repro.errors import ExperimentError
 
-__all__ = ["PluginRegistry"]
+__all__ = ["PluginRegistry", "format_plugin_params", "parse_plugin_params"]
 
 _LOG = logging.getLogger(__name__)
+
+
+def _coerce_param(value: str) -> Any:
+    """``"4"`` → 4, ``"2.5e9"`` → 2.5e9, anything else stays a string."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def parse_plugin_params(value: str, kind: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=val,key=val"`` into (name, params).
+
+    The shared half of the CLI inline-parameter syntax both the
+    topology and placement axes speak: the bare form yields an empty
+    param dict, numeric values are coerced, and malformed items raise
+    :class:`~repro.errors.ExperimentError` naming the *kind* — the
+    caller resolves the name against its own registry (so typos raise
+    there, listing the registered names).
+    """
+    name, sep, rest = str(value).partition(":")
+    params: Dict[str, Any] = {}
+    if sep:
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, eq, raw = item.partition("=")
+            if not eq or not key.strip() or not raw.strip():
+                raise ExperimentError(
+                    f"malformed {kind} parameter {item!r} in {value!r} "
+                    "(expected key=value)"
+                )
+            params[key.strip()] = _coerce_param(raw.strip())
+    return name, params
+
+
+def format_plugin_params(name: str, params: Dict[str, Any]) -> str:
+    """The inverse of :func:`parse_plugin_params` (stable param order)."""
+    if not params:
+        return name
+    return name + ":" + ",".join(f"{k}={v}" for k, v in sorted(params.items()))
 
 
 class PluginRegistry:

@@ -1,14 +1,16 @@
 """Experiment registry: IDs → harness entry points.
 
 Each entry point is ``run(scale: float, seed: int, jobs: int,
-topology: Optional[str]) -> str`` returning the formatted report it
-also prints.  ``scale`` shrinks measurement windows (and sweep
-densities) so the same harness serves quick smoke runs, benchmarks,
-and full reproductions; ``jobs`` is the sweep worker-process count;
-``topology`` selects a registered fabric (``None`` keeps each
-harness's own default, usually the single-rack star).  The CLI passes
-all three to every harness, so registered entry points must accept
-them even if they ignore them.
+topology: Optional[str], placement: Optional[str]) -> str`` returning
+the formatted report it also prints.  ``scale`` shrinks measurement
+windows (and sweep densities) so the same harness serves quick smoke
+runs, benchmarks, and full reproductions; ``jobs`` is the sweep
+worker-process count; ``topology`` selects a registered fabric
+(``None`` keeps each harness's own default, usually the single-rack
+star); ``placement`` selects a registered group-placement policy
+(``None`` keeps ``global``).  The CLI passes all of them to every
+harness, so registered entry points must accept them even if they
+ignore them.
 """
 
 from __future__ import annotations
@@ -69,6 +71,7 @@ def _ensure_loaded() -> None:
         fig16_switch_failure,
         fig17_multirack,
         fig18_trunk_saturation,
+        fig19_locality,
         table1_comparison,
         table_resources,
     )

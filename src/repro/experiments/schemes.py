@@ -57,6 +57,7 @@ __all__ = [
 PLUGIN_MODULES: List[str] = [
     "repro.baselines.jsq_d",
     "repro.baselines.bounded_random",
+    "repro.baselines.cclone",
 ]
 
 
@@ -71,9 +72,15 @@ class SchemeContext:
     :class:`~repro.experiments.common.ClusterConfig`.
 
     ``make_program`` hooks run once per ToR: ``switch_id`` holds the
-    1-based rack number of the ToR currently being programmed, which
-    is what the §3.7 SWID gate compares against.  ``program`` is the
-    primary (first) ToR's program once all are installed.
+    1-based rack number of the ToR currently being programmed and
+    ``group_table`` that ToR's placement-built
+    :class:`~repro.core.placement.GroupTable`, which is what the §3.7
+    SWID gate compares against / the group table it installs.
+    ``program`` is the primary (first) ToR's program once all are
+    installed, and ``group_tables`` collects every ToR's table in rack
+    order.  ``make_client`` hooks run once per client with
+    ``client_index`` set; :meth:`client_group_table` resolves the
+    table of that client's local ToR.
     """
 
     cluster: Any
@@ -82,6 +89,26 @@ class SchemeContext:
     coordinator_ip: Optional[int] = None
     program: Optional[Any] = None
     switch_id: int = 1
+    #: Rack of each server ID (the fabric's placement map).
+    server_racks: List[int] = field(default_factory=list)
+    #: Per-ToR group tables in rack order (empty for program-less schemes).
+    group_tables: List[Any] = field(default_factory=list)
+    #: The table of the ToR currently being programmed.
+    group_table: Optional[Any] = None
+    #: Index of the client currently being built.
+    client_index: int = 0
+
+    def client_group_table(self) -> Optional[Any]:
+        """The group table of the current client's local ToR.
+
+        Clients draw group IDs valid on the switch that stamps their
+        requests — their own rack's ToR — so each rack may run a
+        different placement-aware pair set.
+        """
+        if not self.group_tables:
+            return None
+        rack = self.cluster.topology.rack_of("client", self.client_index)
+        return self.group_tables[rack]
 
 
 @dataclass
@@ -107,6 +134,12 @@ class SchemeSpec:
     netclone_mode: bool = False
     #: ``ctx -> program`` installed on the ToR switch (None: plain L3).
     make_program: Optional[Callable[[SchemeContext], Any]] = None
+    #: ``(ctx, rack) -> GroupTable | [(first, second), ...]`` — override
+    #: the candidate-pair table ToR *rack* installs.  None (the
+    #: default) delegates to the cluster's placement policy
+    #: (``ClusterConfig.placement``); schemes only implement this to
+    #: pin a custom construction (e.g. unordered-pair ablations).
+    group_pairs: Optional[Callable[[SchemeContext, int], Any]] = None
     #: ``ctx -> Host`` — build the coordinator host (its IP is
     #: pre-allocated as ``ctx.coordinator_ip`` before servers exist).
     make_coordinator: Optional[Callable[[SchemeContext], Any]] = None
@@ -221,6 +254,13 @@ def _netclone_client(ctx: SchemeContext, common: Dict[str, Any]):
             f"scheme {ctx.config.scheme!r} builds NetClone clients but "
             "installed no switch program"
         )
+    table = ctx.client_group_table()
+    if table is not None:
+        return NetCloneClient(
+            group_table=table,
+            num_filter_tables=ctx.config.num_filter_tables,
+            **common,
+        )
     return NetCloneClient(
         num_groups=ctx.program.num_groups,
         num_filter_tables=ctx.config.num_filter_tables,
@@ -234,6 +274,10 @@ def _program_kwargs(ctx: SchemeContext) -> Dict[str, Any]:
         num_filter_tables=ctx.config.num_filter_tables,
         filter_slots=ctx.config.filter_slots,
         switch_id=ctx.switch_id,
+        # The per-ToR placement-built table (None only for testbeds
+        # assembled outside Cluster, where the program builds the
+        # global table itself).
+        group_pairs=None if ctx.group_table is None else ctx.group_table.pairs,
     )
 
 

@@ -31,7 +31,11 @@ def _mark(value: bool) -> str:
 
 
 def derive_matrix(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Dict[str, str]]:
     """Measure each Table 1 property from probe runs."""
     spec = make_synthetic_spec("exp", mean_us=25.0)
@@ -39,6 +43,7 @@ def derive_matrix(
         ClusterConfig(
             workload=spec,
             topology=topology,
+            placement=placement,
             num_servers=5,
             workers_per_server=15,
             warmup_ns=ms(5),
@@ -116,10 +121,14 @@ def _laedge_probe_rate(point) -> float:
 
 
 def run(
-    scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> str:
     """Derive and print Table 1."""
-    matrix = derive_matrix(scale, seed, jobs=jobs, topology=topology)
+    matrix = derive_matrix(scale, seed, jobs=jobs, topology=topology, placement=placement)
     properties = [
         "Cloning point",
         "Dynamic cloning",
@@ -152,5 +161,11 @@ def run(
 
 
 @register("table1", "qualitative comparison matrix, derived from probe runs")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology)
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
+    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)

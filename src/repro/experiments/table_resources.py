@@ -29,7 +29,13 @@ def report():
     )
 
 
-def run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+def run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
     """Print the §4.1 resource rows (*jobs*/*topology* accepted for CLI
     symmetry; the footprint is per ToR and fabric-independent)."""
     lines = ["== §4.1 switch resource usage (recomputed from the pipeline) =="]
@@ -43,5 +49,11 @@ def run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str
 
 
 @register("resources", "switch ASIC resource accounting (§4.1)")
-def _run(scale: float = 1.0, seed: int = 1, jobs: int = 1, topology: Optional[str] = None) -> str:
+def _run(
+    scale: float = 1.0,
+    seed: int = 1,
+    jobs: int = 1,
+    topology: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> str:
     return run(scale, seed)

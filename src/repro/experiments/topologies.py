@@ -34,7 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.plugin_registry import PluginRegistry
+from repro.experiments.plugin_registry import (
+    PluginRegistry,
+    format_plugin_params,
+    parse_plugin_params,
+)
 from repro.net.topology import (
     Fabric,
     SingleRackFabric,
@@ -138,16 +142,6 @@ def get_topology(name: str) -> TopologySpec:
     return _IMPL.get(name)
 
 
-def _coerce_param(value: str) -> Any:
-    """``"4"`` → 4, ``"2.5e9"`` → 2.5e9, anything else stays a string."""
-    for cast in (int, float):
-        try:
-            return cast(value)
-        except ValueError:
-            continue
-    return value
-
-
 def parse_topology(value: str) -> Tuple[str, Dict[str, Any]]:
     """Split ``"name:key=val,key=val"`` into (canonical name, params).
 
@@ -158,31 +152,13 @@ def parse_topology(value: str) -> Tuple[str, Dict[str, Any]]:
     Unknown topology names and malformed params raise
     :class:`~repro.errors.ExperimentError`.
     """
-    from repro.errors import ExperimentError
-
-    name, sep, rest = str(value).partition(":")
-    canonical = get_topology(name).name
-    params: Dict[str, Any] = {}
-    if sep:
-        for item in rest.split(","):
-            item = item.strip()
-            if not item:
-                continue
-            key, eq, raw = item.partition("=")
-            if not eq or not key.strip() or not raw.strip():
-                raise ExperimentError(
-                    f"malformed topology parameter {item!r} in {value!r} "
-                    "(expected key=value)"
-                )
-            params[key.strip()] = _coerce_param(raw.strip())
-    return canonical, params
+    name, params = parse_plugin_params(value, "topology")
+    return get_topology(name).name, params
 
 
 def format_topology(name: str, params: Dict[str, Any]) -> str:
     """The inverse of :func:`parse_topology` (stable param order)."""
-    if not params:
-        return name
-    return name + ":" + ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return format_plugin_params(name, params)
 
 
 def canonical_topology(value: str) -> str:

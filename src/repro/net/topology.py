@@ -326,6 +326,16 @@ class Fabric:
         """Which rack the *index*-th host of *role* lives in."""
         raise NotImplementedError
 
+    def racks_of(self, role: str, count: int) -> List[int]:
+        """Rack of each of the first *count* hosts of *role*.
+
+        The rack→host placement map the layers above consult: placement
+        policies build rack-aware group tables from
+        ``racks_of("server", n)``, and clients are handed the group
+        table of ``racks_of("client", n)[i]``'s ToR.
+        """
+        return [self.rack_of(role, index) for index in range(count)]
+
     # -- host attachment hooks ----------------------------------------
     def allocate_ip(self, role: str = "host", index: int = 0) -> int:
         """Pre-allocate the address a later :meth:`attach` will route."""
