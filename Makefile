@@ -3,13 +3,16 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test smoke bench
+.PHONY: test smoke bench drill
 
 test:  ## full tier-1 suite (what the roadmap's verify line runs)
 	$(PY) -m pytest -x -q
 
 smoke:  ## fast tier: skips tests marked slow (multi-rack sweeps, wide pools)
 	$(PY) -m pytest -x -q -m "not slow"
+
+drill:  ## failure drills end to end (ToR cycle, spine flap, server fail/restore)
+	$(PY) examples/switch_failure_drill.py
 
 bench:  ## pytest-benchmark harnesses at reduced scale (REPRO_BENCH_SCALE=0.25)
 	$(PY) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="bench_*"

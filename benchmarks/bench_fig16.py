@@ -1,13 +1,20 @@
-"""Benchmark: regenerate Figure 16 (switch failure timeline)."""
+"""Benchmark: regenerate Figure 16 (switch + server failure timelines)."""
 
 from conftest import run_once
 
 from repro.experiments import fig16_switch_failure
 
 
-def bench_fig16_switch_failure(benchmark, bench_scale, bench_seed):
+def bench_fig16_switch_failure(benchmark, bench_scale, bench_seed, bench_jobs):
     report = run_once(
-        benchmark, fig16_switch_failure.run, scale=max(bench_scale, 0.4), seed=bench_seed
+        benchmark,
+        fig16_switch_failure.run,
+        scale=max(bench_scale, 0.4),
+        seed=bench_seed,
+        jobs=bench_jobs,
     )
     assert "Figure 16" in report
     assert "recovered" in report
+    # Panel (b): the server kill -> rebuild -> restore placement sweep.
+    assert "rack-local" in report
+    assert "clones stayed in-rack" in report

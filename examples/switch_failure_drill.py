@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Failure drills: power-cycle the ToR, then flap a spine (§3.6 / Fig 16).
+"""Failure drills: ToR power cycle, spine flap, server fail→restore (§3.6).
 
 Drill 1 — the paper's Figure 16 scenario: NetClone keeps only *soft*
 state in the switch — server states, the request-ID sequence, and
@@ -17,6 +17,16 @@ pairs client throughput with per-trunk byte counters
 the withdrawn spine's trunks onto its sibling within one window,
 rides out the power-off without a throughput gap, and spreads back
 after restoration.
+
+Drill 3 — the §3.6 *server* failure path, exercised the same way the
+first two drills exercise switches: on a two-rack spine-leaf running
+``rack-local`` placement, a server is powered off at t = 150 ms
+(access link down + ``ServerFailureHandler.remove_server``) and
+restored at t = 300 ms (``restore_server``).  The control-plane
+rebuild is placement-consistent — every ToR gets a fresh rack-local
+group table over the live servers, stamped with a new epoch and
+pushed to its rack's clients — so the trunks stay silent through the
+whole fail → rebuild → restore cycle.
 
 Run:  python examples/switch_failure_drill.py
 """
@@ -130,11 +140,71 @@ def spine_drill() -> None:
           "while total throughput holds")
 
 
+SERVER_KILL_AT = ms(150)
+SERVER_RESTORE_AT = ms(300)
+SERVER_HORIZON = ms(450)
+SERVER_VICTIM = 0
+
+
+def server_drill() -> None:
+    """Drill 3: kill and restore a server under rack-local placement."""
+    print("== Drill 3: server fail -> placement-aware rebuild -> restore ==")
+    config = ClusterConfig(
+        scheme="netclone",
+        topology="spine_leaf",
+        topology_params={"racks": 2, "spines": 2},
+        placement="rack-local",
+        num_servers=6,  # three per rack: one death keeps racks local
+        rate_rps=120e3,
+        warmup_ns=0,
+        measure_ns=SERVER_HORIZON,
+        drain_ns=ms(20),
+        seed=5,
+    )
+    cluster = Cluster(config)
+    fabric = cluster.topology
+    handler = cluster.failure_handler()
+    monitor = IntervalMonitor(window_ns=WINDOW, horizon_ns=SERVER_HORIZON)
+    cluster.recorder.completion_monitor = monitor
+    trunks = TrunkByteMonitor(cluster.sim, fabric.trunks, WINDOW, SERVER_HORIZON)
+    victim = cluster.servers[SERVER_VICTIM]
+    cluster.sim.at(SERVER_KILL_AT, fabric.fail_host, victim)
+    cluster.sim.at(SERVER_KILL_AT, handler.remove_server, SERVER_VICTIM)
+    cluster.sim.at(SERVER_RESTORE_AT, fabric.restore_host, victim)
+    cluster.sim.at(SERVER_RESTORE_AT, handler.restore_server, SERVER_VICTIM)
+    cluster.start()
+    cluster.run()
+
+    rates = monitor.rates_per_second()
+    trunk_kb = trunks.total_per_window()
+    print("time(ms)  tput(KRPS)  trunk_KB")
+    for w, start_s in enumerate(trunks.window_starts_sec()):
+        start_ms = start_s * 1e3
+        marker = ""
+        if SERVER_KILL_AT <= start_ms * ms(1) < SERVER_KILL_AT + WINDOW:
+            marker = "  <- srv1 powered off + removed (control plane)"
+        elif SERVER_RESTORE_AT <= start_ms * ms(1) < SERVER_RESTORE_AT + WINDOW:
+            marker = "  <- srv1 restored (rack back to rack-local)"
+        print(
+            f"{start_ms:7.0f}  {rates[w] / 1e3:9.1f}  {trunk_kb[w] / 1e3:8.1f}{marker}"
+        )
+    accepted = victim.counters.get("requests_accepted")
+    print()
+    print(f"table epoch after fail + restore : {handler.epoch} "
+          f"(clients swap tables by epoch, never by size)")
+    print(f"trunk bytes across the whole drill : {sum(trunk_kb)} "
+          f"(rack-local rebuilds kept every clone in-rack)")
+    print(f"victim requests accepted : {accepted} "
+          f"(steering stopped after the rebuild, resumed after restore)")
+
+
 def main() -> None:
     print(__doc__)
     tor_drill()
     print()
     spine_drill()
+    print()
+    server_drill()
 
 
 if __name__ == "__main__":

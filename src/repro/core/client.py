@@ -64,23 +64,73 @@ class NetCloneClient(OpenLoopClient):
             raise ExperimentError("NetClone needs at least two groups (two servers)")
         if num_filter_tables < 1:
             raise ExperimentError("need at least one filter table")
-        self.group_table = group_table
-        self.num_groups = num_groups
+        self._group_table: Optional[GroupTable] = None
+        self._table_epoch: Optional[int] = None
+        self._num_groups = num_groups
+        if group_table is not None:
+            self.install_group_table(group_table)
         self.num_filter_tables = num_filter_tables
+
+    # -- control-plane table swap --------------------------------------
+    def install_group_table(self, table: GroupTable) -> None:
+        """Atomically swap in a (control-plane pushed) group table.
+
+        Table, group count and epoch move together, so the client can
+        never draw from a table the switch no longer holds.  This is
+        the update :class:`~repro.core.failures.ServerFailureHandler`
+        pushes after a §3.6 rebuild.
+        """
+        if not isinstance(table, GroupTable):
+            raise ExperimentError(
+                f"expected a GroupTable, got {type(table).__name__}"
+            )
+        self._group_table = table
+        self._num_groups = table.num_groups
+        self._table_epoch = table.epoch
+
+    @property
+    def group_table(self) -> Optional[GroupTable]:
+        """The local ToR's table this client currently samples from."""
+        return self._group_table
+
+    @group_table.setter
+    def group_table(self, table: Optional[GroupTable]) -> None:
+        if table is None:
+            self._group_table = None
+            self._table_epoch = None
+        else:
+            self.install_group_table(table)
+
+    @property
+    def num_groups(self) -> int:
+        """Dense group-ID space size the client draws from."""
+        return self._num_groups
+
+    @num_groups.setter
+    def num_groups(self, value: int) -> None:
+        # The legacy count-only control-plane update: the switch now
+        # holds a dense *uniform* table of this size, so whatever table
+        # the client cached is stale — even when the count happens to
+        # match (the epoch mismatch below is what _pick_group checks).
+        self._num_groups = int(value)
+        self._table_epoch = None
 
     def _pick_group(self) -> int:
         """One group ID from the local ToR's table.
 
-        When a control-plane update (e.g. a server-failure rebuild)
-        re-points ``num_groups`` at a smaller dense space, the cached
-        table is stale and the draw falls back to the uniform rule over
-        the updated count — the switch-side rebuild always installs a
-        dense uniform table.
+        The cached table is used only while its epoch matches the one
+        recorded at install time: a count-only control-plane update
+        (e.g. a legacy server-failure rebuild) clears the recorded
+        epoch, and the draw falls back to the uniform rule over the
+        updated count — the switch-side legacy rebuild always installs
+        a dense uniform table.  Size alone is *not* trusted: a rebuilt
+        table with a coincidentally equal group count must not keep
+        the client sampling dead pairs.
         """
-        table = self.group_table
-        if table is not None and table.num_groups == self.num_groups:
+        table = self._group_table
+        if table is not None and table.epoch == self._table_epoch:
             return table.sample(self.rng)
-        return self.rng.randrange(self.num_groups)
+        return self.rng.randrange(self._num_groups)
 
     def build_packets(self, request: Any) -> List[Packet]:
         header = NetCloneHeader(

@@ -1,4 +1,4 @@
-"""Server-failure handling (§3.6).
+"""Server-failure handling (§3.6), placement-consistent.
 
 When a worker server dies, performance degrades until the operator
 (or a health monitor) removes it: "The switch control plane can
@@ -7,14 +7,30 @@ destination servers by updating relevant tables (e.g., the group table
 and the address table) in the switch data plane and the number of
 groups on the client side."
 
-:class:`ServerFailureHandler` implements exactly that flow on top of
-the :class:`~repro.switchsim.controlplane.ControlPlane`:
+:class:`ServerFailureHandler` implements that flow on top of the
+:class:`~repro.switchsim.controlplane.ControlPlane` — and, on a
+multi-rack fabric, keeps it consistent with the cluster's placement
+policy (:mod:`repro.core.placement`).  One removal (or restoration)
+is one control-plane operation that:
 
-1. rebuild the group table over the surviving servers (ordered pairs,
-   so the §3.3 randomness argument still holds);
-2. point every group at surviving addresses (the address table keeps
-   its surviving entries; the dead server's entry is removed);
-3. tell clients the new group count, so they stop drawing dead groups.
+1. flips the server's bit in the :class:`PlacementContext` live mask
+   and re-derives **one group table per ToR** via
+   ``policy.group_table(ctx, rack)`` — so a ``rack-local`` deployment
+   stays rack-local, per ToR, across failures, and a rack left with
+   fewer than two live servers falls back to the global pair set
+   (returning to rack-local pairs on :meth:`restore_server`);
+2. installs each rack's table on *its own* ToR program and removes
+   (or re-installs) the server's address-table entry fabric-wide;
+3. pushes the new epoch-stamped
+   :class:`~repro.core.placement.GroupTable` objects to that rack's
+   clients — not merely a shrunken group count — so clients swap
+   tables atomically instead of guessing staleness from table sizes.
+
+Built without placement information (the legacy single-rack form),
+the handler behaves exactly like the seed implementation: a global
+rebuild over the survivors, bit-identical RNG behaviour included
+(uniform tables spend one ``randrange`` per draw, the same stream as
+the count-only fallback).
 
 Until the control-plane update lands, requests whose group includes
 the dead server are lost — the transient degradation the paper
@@ -23,10 +39,14 @@ describes.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.groups import build_group_pairs
-from repro.core.program import NetCloneProgram
+from repro.core.placement import (
+    GlobalPlacement,
+    GroupTable,
+    PlacementContext,
+    PlacementPolicy,
+)
 from repro.errors import ExperimentError
 from repro.switchsim.controlplane import ControlPlane
 
@@ -34,19 +54,93 @@ __all__ = ["ServerFailureHandler"]
 
 
 class ServerFailureHandler:
-    """Removes failed servers from a running NetClone deployment."""
+    """Removes (and restores) servers in a running NetClone deployment.
+
+    The legacy form takes one *program* plus *clients* and rebuilds a
+    single global table.  Cluster assembly passes the placement-aware
+    extras (see :meth:`repro.experiments.common.Cluster.failure_handler`):
+
+    :param programs: per-ToR switch programs in rack order
+        (``programs[0]`` must be *program*, the primary ToR's).
+    :param placement: the cluster's
+        :class:`~repro.core.placement.PlacementPolicy`; defaults to
+        :class:`~repro.core.placement.GlobalPlacement` — the seed
+        behaviour.
+    :param context: the :class:`PlacementContext` mapping server IDs
+        to racks; required whenever more than one program is handled.
+    :param client_racks: rack of each entry in *clients* (defaults to
+        rack 0 for all — the single-rack case).
+    """
 
     def __init__(
         self,
-        program: NetCloneProgram,
+        program: Any,
         control_plane: ControlPlane,
         clients: Sequence[object] = (),
+        *,
+        programs: Optional[Sequence[Any]] = None,
+        placement: Optional[PlacementPolicy] = None,
+        context: Optional[PlacementContext] = None,
+        client_racks: Optional[Sequence[int]] = None,
     ):
         self.program = program
+        self.programs: List[Any] = list(programs) if programs is not None else [program]
+        if not self.programs or self.programs[0] is not program:
+            raise ExperimentError("programs[0] must be the primary ToR's program")
         self.control_plane = control_plane
         self.clients = list(clients)
+        self.placement: PlacementPolicy = (
+            placement if placement is not None else GlobalPlacement()
+        )
         # server_id -> ip for the servers currently in rotation.
-        self.active = dict(self.program.addr_table.entries())
+        self.active: Dict[int, int] = dict(self.program.addr_table.entries())
+        # server_id -> ip for servers this handler removed (restorable).
+        self._removed: Dict[int, int] = {}
+        if context is None:
+            if len(self.programs) > 1:
+                raise ExperimentError(
+                    "multi-ToR failure handling needs a PlacementContext "
+                    "(which rack each server lives in)"
+                )
+            context = PlacementContext(
+                server_racks=(0,) * (max(self.active, default=0) + 1),
+                num_racks=1,
+            )
+        if len(context.server_racks) <= max(self.active, default=0):
+            raise ExperimentError(
+                f"placement map covers {len(context.server_racks)} servers "
+                f"but the address table holds ID {max(self.active, default=0)}"
+            )
+        self._base_context = context
+        # A server can be live only if the provided mask agrees AND it
+        # is actually in the address table.
+        provided = context.live_mask()
+        self._live: List[bool] = [
+            bool(provided[sid]) and sid in self.active
+            for sid in range(len(context.server_racks))
+        ]
+        if client_racks is None:
+            client_racks = [0] * len(self.clients)
+        self._client_racks = [int(rack) for rack in client_racks]
+        if len(self._client_racks) != len(self.clients):
+            raise ExperimentError(
+                f"{len(self._client_racks)} client racks for "
+                f"{len(self.clients)} clients"
+            )
+        for rack in self._client_racks:
+            if not 0 <= rack < len(self.programs):
+                raise ExperimentError(
+                    f"client rack {rack} has no ToR program "
+                    f"(fabric has {len(self.programs)})"
+                )
+        for client in self.clients:
+            self._check_client_shape(client)
+        #: Control-plane table generation; rebuilds stamp epoch+1 on
+        #: every table they push (assembly-time tables are epoch 0).
+        self.epoch = 0
+        #: Per-ToR tables installed by the last rebuild (rack order);
+        #: empty until the first failure/recovery operation applies.
+        self.tables: List[GroupTable] = []
 
     # ------------------------------------------------------------------
     def remove_server(self, server_id: int) -> int:
@@ -56,34 +150,112 @@ class ServerFailureHandler:
         updates on a real switch are batched by the agent, and what
         matters for the model is the (slow) control-plane latency
         before any of it takes effect.
+
+        The guard is fabric-wide: cloning needs two live servers
+        *somewhere*, so removals stop when only two remain.  A single
+        **rack** dropping below two live servers is legal — its ToR
+        falls back to the placement policy's global pair set until
+        :meth:`restore_server` brings a member back.
         """
         if server_id not in self.active:
             raise ExperimentError(f"server {server_id} is not in rotation")
-        if len(self.active) <= 2:
-            raise ExperimentError("cannot drop below two servers (cloning needs a pair)")
-        del self.active[server_id]
+        # Count *live* servers, not address-table entries: a context
+        # built with some live bits already cleared must fail here,
+        # diagnosably, not inside the deferred rebuild callback.
+        remaining = [
+            sid for sid, alive in enumerate(self._live)
+            if alive and sid != server_id
+        ]
+        if len(remaining) < 2:
+            raise ExperimentError(
+                "cannot drop below two live servers fabric-wide (cloning "
+                f"needs a pair); only {remaining} would remain"
+            )
+        self._removed[server_id] = self.active.pop(server_id)
+        self._live[server_id] = False
         return self.control_plane.submit(self._apply_removal, server_id)
 
-    def _apply_removal(self, server_id: int) -> None:
-        program = self.program
-        survivors: List[int] = sorted(self.active)
-        # Remap group IDs onto ordered pairs of survivors.  Group IDs
-        # are dense (clients draw uniformly from [0, num_groups)), so
-        # the table is rebuilt rather than punched with holes.
-        pairs = build_group_pairs(len(survivors))
-        for group_id in list(program.grp_table.entries()):
-            program.grp_table.remove(group_id)
-        for group_id, (first, second) in enumerate(pairs):
-            program.grp_table.install(
-                group_id, (survivors[first], survivors[second])
+    def restore_server(self, server_id: int) -> int:
+        """Schedule recovery of *server_id*; returns the apply time (ns).
+
+        The symmetric operation: the server's address-table entry is
+        re-installed fabric-wide, its live bit set, and every ToR's
+        group table re-derived — a rack that had fallen back to global
+        pairs returns to its placement-native table.
+        """
+        if server_id in self.active:
+            raise ExperimentError(f"server {server_id} is already in rotation")
+        if server_id not in self._removed:
+            raise ExperimentError(
+                f"server {server_id} was never removed by this handler"
             )
-        program.num_groups = len(pairs)
-        program.addr_table.remove(server_id)
-        for client in self.clients:
-            if hasattr(client, "num_groups"):
-                client.num_groups = len(pairs)
+        ip = self._removed.pop(server_id)
+        self.active[server_id] = ip
+        self._live[server_id] = True
+        return self.control_plane.submit(self._apply_restore, server_id, ip)
+
+    # ------------------------------------------------------------------
+    def _apply_removal(self, server_id: int) -> None:
+        self._rebuild_group_tables()
+        for program in self.programs:
+            program.addr_table.remove(server_id)
+
+    def _apply_restore(self, server_id: int, ip: int) -> None:
+        for program in self.programs:
+            program.addr_table.install(server_id, ip)
+        self._rebuild_group_tables()
+
+    def _rebuild_group_tables(self) -> None:
+        """Re-derive and install one placement-built table per ToR."""
+        self.epoch += 1
+        ctx = self._base_context.with_live(self._live)
+        self.tables = []
+        for rack, program in enumerate(self.programs):
+            table = self.placement.group_table(ctx, rack).with_epoch(self.epoch)
+            program.install_group_table(table)
+            self.tables.append(table)
+        for client, rack in zip(self.clients, self._client_racks):
+            self._push_table(client, self.tables[rack])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_client_shape(client: object) -> None:
+        """Reject clients a rebuild could not update.
+
+        The seed implementation silently skipped anything without a
+        ``num_groups`` attribute, leaving it sampling dead pairs
+        forever; unknown shapes now fail at construction time instead.
+        """
+        if callable(getattr(client, "install_group_table", None)):
+            return
+        if hasattr(client, "group_table") or hasattr(client, "num_groups"):
+            return
+        raise ExperimentError(
+            f"client {getattr(client, 'name', client)!r} exposes neither "
+            "install_group_table() nor group_table/num_groups; a rebuild "
+            "could not stop it from sampling dead server pairs"
+        )
+
+    @staticmethod
+    def _push_table(client: object, table: GroupTable) -> None:
+        install = getattr(client, "install_group_table", None)
+        if callable(install):
+            install(table)
+            return
+        # Attribute-shaped clients: update table and count *together* —
+        # a client carrying only one of them would otherwise keep
+        # drawing from the stale space.
+        if hasattr(client, "group_table"):
+            client.group_table = table
+        if hasattr(client, "num_groups"):
+            client.num_groups = table.num_groups
 
     @property
     def active_server_ids(self) -> List[int]:
         """Server IDs still in rotation."""
         return sorted(self.active)
+
+    @property
+    def removed_server_ids(self) -> List[int]:
+        """Server IDs removed by this handler and not yet restored."""
+        return sorted(self._removed)

@@ -26,7 +26,7 @@ group IDs.  Policies are selected by name through the registry in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.groups import ordered_pairs
@@ -55,11 +55,20 @@ class GroupTable:
     otherwise.  ``split == len(pairs)`` marks a pure uniform table
     (one ``randrange`` per draw — the seed client's exact RNG
     behaviour, which the ``global`` bit-identity golden tests pin).
+
+    ``epoch`` is the control-plane generation the table belongs to:
+    assembly-time tables are epoch 0 and every §3.6 failure/recovery
+    rebuild stamps the next epoch on the tables it pushes
+    (:meth:`with_epoch`).  Clients compare epochs — not table sizes —
+    to decide whether their cached table still matches the switch, so
+    a rebuild that happens to keep the group count is never mistaken
+    for "no change".
     """
 
     pairs: Tuple[Tuple[int, int], ...]
     split: int
     p_local: float = 1.0
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if len(self.pairs) < 2:
@@ -75,6 +84,12 @@ class GroupTable:
             raise ExperimentError(
                 f"group-table p_local {self.p_local} outside [0, 1]"
             )
+        if self.epoch < 0:
+            raise ExperimentError(f"group-table epoch {self.epoch} is negative")
+
+    def with_epoch(self, epoch: int) -> "GroupTable":
+        """This table stamped as control-plane generation *epoch*."""
+        return replace(self, epoch=epoch)
 
     @property
     def num_groups(self) -> int:
@@ -142,6 +157,35 @@ class PlacementContext:
             for server in range(len(self.server_racks))
             if self.live is None or self.live[server]
         ]
+
+    # -- live-mask derivation (what §3.6 failure handling flips) -------
+    def live_mask(self) -> Tuple[bool, ...]:
+        """The liveness mask, expanded (``live=None`` means all live)."""
+        if self.live is None:
+            return (True,) * len(self.server_racks)
+        return self.live
+
+    def with_live(self, live: Sequence[bool]) -> "PlacementContext":
+        """This context with the liveness mask replaced by *live*."""
+        return replace(self, live=tuple(bool(flag) for flag in live))
+
+    def mark_dead(self, server_id: int) -> "PlacementContext":
+        """This context with *server_id*'s live bit cleared."""
+        return self._flipped(server_id, False)
+
+    def mark_live(self, server_id: int) -> "PlacementContext":
+        """This context with *server_id*'s live bit set (recovery)."""
+        return self._flipped(server_id, True)
+
+    def _flipped(self, server_id: int, alive: bool) -> "PlacementContext":
+        if not 0 <= server_id < len(self.server_racks):
+            raise ExperimentError(
+                f"server {server_id} outside the placement map "
+                f"(0..{len(self.server_racks) - 1})"
+            )
+        mask = list(self.live_mask())
+        mask[server_id] = alive
+        return self.with_live(mask)
 
     def rack_members(self, rack: int) -> List[int]:
         """Live server IDs placed in *rack*, in ID order."""

@@ -41,7 +41,10 @@ from repro.core.constants import (
     STATE_IDLE,
     SWID_UNSET,
 )
-from repro.core.groups import install_group_table
+# Aliased: the method NetCloneProgram.install_group_table (the §3.6
+# control-plane reinstall path) would otherwise shadow this module-level
+# seed-table builder inside the class body.
+from repro.core.groups import install_group_table as install_global_pairs
 from repro.errors import PipelineConfigError
 from repro.net.packet import Packet
 from repro.switchsim.hashing import HashUnit
@@ -136,8 +139,12 @@ class NetCloneProgram(SwitchProgram):
             for i in range(num_filter_tables)
         ]
 
+        #: Control-plane generation of the installed group table; §3.6
+        #: rebuilds bump it in lockstep with the tables pushed to the
+        #: rack's clients (see :meth:`install_group_table`).
+        self.table_epoch = 0
         if group_pairs is None:
-            self.num_groups = install_group_table(self.grp_table, self.num_servers)
+            self.num_groups = install_global_pairs(self.grp_table, self.num_servers)
         else:
             # Ablation hook (§3.3): install a custom candidate-pair set,
             # e.g. unordered pairs, to measure the herding the paper's
@@ -147,6 +154,22 @@ class NetCloneProgram(SwitchProgram):
             self.num_groups = len(group_pairs)
         for server_id, ip in enumerate(server_ips):
             self.addr_table.install(server_id, ip)
+
+    # ------------------------------------------------------------------
+    def install_group_table(self, table) -> None:
+        """Control-plane reinstall: wipe ``GrpT`` and load *table*.
+
+        *table* is a :class:`~repro.core.placement.GroupTable` (or any
+        object with ``pairs``/``num_groups``/``epoch``).  Group IDs are
+        dense, so the table is rebuilt rather than punched with holes —
+        exactly the §3.6 update path, now per ToR.
+        """
+        for group_id in list(self.grp_table.entries()):
+            self.grp_table.remove(group_id)
+        for group_id, pair in enumerate(table.pairs):
+            self.grp_table.install(group_id, tuple(pair))
+        self.num_groups = table.num_groups
+        self.table_epoch = table.epoch
 
     # ------------------------------------------------------------------
     def matches(self, packet: Packet) -> bool:

@@ -222,6 +222,8 @@ class Cluster:
         self.programs: List[Any] = []
         self.program: Optional[Any] = None
         self.group_tables: List[Any] = []
+        self.server_racks: List[int] = []
+        self.client_racks: List[int] = []
         self._build()
 
     # ------------------------------------------------------------------
@@ -259,6 +261,8 @@ class Cluster:
             self.servers.append(server)
         context.server_ips = [server.ip for server in self.servers]
         context.server_racks = fabric.racks_of("server", config.num_servers)
+        self.server_racks = list(context.server_racks)
+        self.client_racks = fabric.racks_of("client", config.num_clients)
 
         if spec.make_coordinator is not None:
             self.coordinator = spec.make_coordinator(context)
@@ -315,6 +319,54 @@ class Cluster:
 
         if spec.post_build is not None:
             spec.post_build(context)
+
+    # ------------------------------------------------------------------
+    def failure_handler(
+        self,
+        control_plane: Optional[Any] = None,
+        op_latency_ns: Optional[int] = None,
+    ) -> "ServerFailureHandler":
+        """A placement-consistent §3.6 failure handler for this cluster.
+
+        The handler knows the cluster's placement policy, the fabric's
+        rack→server map and every ToR's program, so removing (or
+        restoring) a server re-derives **one group table per ToR** and
+        pushes epoch-stamped tables to each rack's clients — a
+        ``rack-local`` deployment stays rack-local across server
+        failures.  *control_plane* defaults to a fresh
+        :class:`~repro.switchsim.controlplane.ControlPlane` on this
+        cluster's simulator (*op_latency_ns* overrides its latency).
+        """
+        from repro.core.failures import ServerFailureHandler
+        from repro.switchsim.controlplane import ControlPlane
+
+        if not self.programs:
+            raise ExperimentError(
+                f"scheme {self.config.scheme!r} installs no switch program; "
+                "there are no group/address tables to rebuild"
+            )
+        if self.scheme_spec.group_pairs is not None:
+            raise ExperimentError(
+                f"scheme {self.config.scheme!r} pins a custom group "
+                "construction; a failure rebuild cannot re-derive it from "
+                "the placement policy"
+            )
+        if control_plane is None:
+            kwargs = {} if op_latency_ns is None else {"op_latency_ns": op_latency_ns}
+            control_plane = ControlPlane(self.sim, **kwargs)
+        context = PlacementContext(
+            server_racks=tuple(self.server_racks),
+            num_racks=self.topology.num_racks,
+        )
+        return ServerFailureHandler(
+            self.program,
+            control_plane,
+            clients=self.clients,
+            programs=self.programs,
+            placement=self.placement,
+            context=context,
+            client_racks=self.client_racks,
+        )
 
     # ------------------------------------------------------------------
     def _capture_trunk_stats(self) -> None:

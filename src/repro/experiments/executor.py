@@ -187,36 +187,85 @@ class SweepExecutor:
         stripped, spec_table = _strip_specs(configs)
         if not self._picklable(stripped, spec_table):
             return [_run_point(config) for config in configs]
+        return self._with_serial_fallback(
+            lambda: self._run_pool(stripped, spec_table),
+            lambda: [_run_point(config) for config in configs],
+        )
+
+    # ------------------------------------------------------------------
+    def run_tasks(self, fn: Any, items: Sequence[Any]) -> List[Any]:
+        """Run ``fn(item)`` for every item; results keep the input order.
+
+        The generic sibling of :meth:`run_points` for batches that are
+        not plain ``run_point(config)`` calls — e.g. fig16's failure
+        drills, where each cell is a whole timeline with mid-run
+        control-plane operations.  *fn* must be a module-level callable
+        and each item picklable; like :meth:`run_points`, the batch
+        degrades to serial execution on unpicklable payloads or an
+        unavailable pool, and workers re-import plugin-registry modules
+        first, so cells may resolve schemes/topologies/placements.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
         try:
-            return self._run_pool(stripped, spec_table)
+            pickle.dumps(fn)
+            pickle.dumps(items)
+        except Exception as exc:
+            _LOG.warning("task batch is not picklable (%s); running serially", exc)
+            return [fn(item) for item in items]
+
+        def pool_run() -> List[Any]:
+            with self._make_pool(len(items)) as pool:
+                futures = [pool.submit(fn, item) for item in items]
+                return [future.result() for future in futures]
+
+        return self._with_serial_fallback(
+            pool_run, lambda: [fn(item) for item in items]
+        )
+
+    # ------------------------------------------------------------------
+    def _make_pool(
+        self, num_items: int, spec_table: Optional[Dict[int, Any]] = None
+    ) -> ProcessPoolExecutor:
+        """A worker pool with the plugin-registry initializer armed."""
+        plugins = self._plugin_modules
+        if plugins is None:
+            plugins = self._registered_plugin_modules()
+        return ProcessPoolExecutor(
+            max_workers=min(self.jobs, num_items),
+            initializer=_worker_init,
+            initargs=(plugins, spec_table),
+        )
+
+    @staticmethod
+    def _with_serial_fallback(pool_run: Any, serial_run: Any) -> List[Any]:
+        """Run *pool_run*, degrading to *serial_run* on pool failures.
+
+        The one copy of the degrade policy both batch shapes share:
+        worker-raised exceptions carry a ``_RemoteTraceback`` cause —
+        those are simulation errors (e.g. a scheme reading a missing
+        file) and propagate unchanged, since re-running the batch
+        serially would only reproduce them slower.  A died worker
+        (OOM, spawn-side import failure) or a bare OSError (fork
+        denied, rlimits) is pool infrastructure: fall back to serial.
+        """
+        try:
+            return pool_run()
         except BrokenProcessPool as exc:
-            # A worker died (OOM, spawn-side import failure).
-            _LOG.warning("process pool failed (%s); sweeping serially", exc)
-            return [_run_point(config) for config in configs]
+            _LOG.warning("process pool failed (%s); running serially", exc)
+            return serial_run()
         except OSError as exc:
-            # Worker-raised exceptions carry a _RemoteTraceback cause;
-            # those are simulation errors (e.g. a scheme reading a
-            # missing file) and propagate unchanged — re-running the
-            # batch serially would only reproduce them slower.  A bare
-            # OSError is pool infrastructure (fork denied, rlimits).
             if type(exc.__cause__).__name__ == "_RemoteTraceback":
                 raise
-            _LOG.warning("process pool unavailable (%s); sweeping serially", exc)
-            return [_run_point(config) for config in configs]
+            _LOG.warning("process pool unavailable (%s); running serially", exc)
+            return serial_run()
 
     # ------------------------------------------------------------------
     def _run_pool(
         self, stripped: List["ClusterConfig"], spec_table: Dict[int, Any]
     ) -> List["LoadPoint"]:
-        plugins = self._plugin_modules
-        if plugins is None:
-            plugins = self._registered_plugin_modules()
-        workers = min(self.jobs, len(stripped))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(plugins, spec_table),
-        ) as pool:
+        with self._make_pool(len(stripped), spec_table) as pool:
             # Longest-first submission shrinks tail stragglers; the
             # future map restores submission order on collection.
             futures = {

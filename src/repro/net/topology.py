@@ -359,6 +359,21 @@ class Fabric:
                 return star.link_of(host)
         raise PortError(f"host {host.name} not attached to any rack")
 
+    # -- host failure drills -------------------------------------------
+    def fail_host(self, host: Host) -> None:
+        """Power off *host*: its access link drops everything both ways.
+
+        The data-plane half of a §3.6 server failure; pair it with
+        :meth:`~repro.core.failures.ServerFailureHandler.remove_server`
+        for the control-plane rebuild that stops traffic being steered
+        at the dead host.
+        """
+        self.link_of(host).down = True
+
+    def restore_host(self, host: Host) -> None:
+        """Bring *host*'s access link back up (recovery drills)."""
+        self.link_of(host).down = False
+
     @property
     def num_racks(self) -> int:
         """Number of racks (= ToR switches)."""

@@ -293,14 +293,110 @@ def test_scheme_group_pairs_hook_overrides_the_placement_policy():
 
 
 def test_stale_client_table_falls_back_to_uniform_draws():
-    # A control-plane group-count update (server-failure rebuild)
-    # invalidates the cached table; draws must cover the new count.
+    # A count-only control-plane update (the legacy server-failure
+    # rebuild) invalidates the cached table; draws must cover the new
+    # count.
     cluster = Cluster(tiny_config())
     client = cluster.clients[0]
     assert client.group_table is not None
-    client.num_groups = 2  # what ServerFailureHandler does
+    client.num_groups = 2  # the legacy count-only update
     seen = {client._pick_group() for _ in range(64)}
     assert seen <= {0, 1}
+
+
+# ----------------------------------------------------------------------
+# Failure-aware placement: rebuilds stay placement-consistent
+# ----------------------------------------------------------------------
+def _failure_cluster(num_servers, racks=4, placement="rack-local", seed=3):
+    from repro.sim.units import ms
+
+    config = tiny_config(
+        placement=placement,
+        topology="spine_leaf",
+        topology_params={"racks": racks, "spines": 2},
+        num_servers=num_servers,
+        num_clients=4,
+        seed=seed,
+    )
+    cluster = Cluster(config)
+    return cluster, cluster.failure_handler(op_latency_ns=ms(1))
+
+
+def test_rack_local_never_crosses_racks_after_a_failure():
+    from repro.sim.units import ms
+
+    # Three servers per rack: one death leaves every rack pair-capable.
+    cluster, handler = _failure_cluster(num_servers=12)
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    racks = cluster.server_racks
+    for rack, program in enumerate(cluster.programs):
+        pairs = program.grp_table.entries().values()
+        assert pairs  # the rack kept >= 2 live servers
+        for first, second in pairs:
+            assert racks[first] == racks[second] == rack
+            assert 0 not in (first, second)
+
+
+def test_fallback_rack_returns_to_local_after_restore():
+    from repro.sim.units import ms
+
+    # Two servers per rack: killing one drops rack 0 below a pair.
+    cluster, handler = _failure_cluster(num_servers=8)
+    local_pairs = dict(cluster.programs[0].grp_table.entries())
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    # Rack 0 fell back to the global pair set over the survivors...
+    fallback = list(cluster.programs[0].grp_table.entries().values())
+    racks = cluster.server_racks
+    assert any(racks[a] != racks[b] for a, b in fallback)
+    assert all(0 not in pair for pair in fallback)
+    # ...while every pair-capable rack stayed rack-local.
+    for rack in (1, 2, 3):
+        for first, second in cluster.programs[rack].grp_table.entries().values():
+            assert racks[first] == racks[second] == rack
+    restore_at = handler.restore_server(0)
+    cluster.sim.run(until=restore_at + 1)
+    # Recovery returns rack 0 to its assembly-time rack-local pairs.
+    assert cluster.programs[0].grp_table.entries() == local_pairs
+
+
+def test_rack_local_keeps_trunks_silent_across_kill_and_restore():
+    # The fig16(b)/acceptance shape pinned as a fast invariant: with
+    # every rack keeping >= 2 live servers, a kill -> rebuild ->
+    # restore cycle under rack-local placement never touches a trunk.
+    from repro.sim.units import ms
+
+    cluster, handler = _failure_cluster(num_servers=12)
+    fabric = cluster.topology
+    victim = cluster.servers[0]
+    cluster.sim.at(ms(1), fabric.fail_host, victim)
+    cluster.sim.at(ms(1), handler.remove_server, 0)
+    cluster.sim.at(ms(3), fabric.restore_host, victim)
+    cluster.sim.at(ms(3), handler.restore_server, 0)
+    cluster.start()
+    cluster.run()
+    point = cluster.load_point()
+    assert point.extra["trunk_tx_bytes"] == 0.0
+    assert point.samples > 0
+    assert handler.epoch == 2
+
+
+def test_failure_handler_rejects_programless_and_pinned_schemes():
+    from repro.experiments.schemes import get_scheme
+
+    baseline = Cluster(tiny_config(scheme="baseline"))
+    with pytest.raises(ExperimentError, match="no switch program"):
+        baseline.failure_handler()
+    spec = get_scheme("netclone")
+    original = spec.group_pairs
+    spec.group_pairs = lambda ctx, rack: [(0, 1), (1, 0)]
+    try:
+        pinned = Cluster(tiny_config())
+        with pytest.raises(ExperimentError, match="custom group construction"):
+            pinned.failure_handler()
+    finally:
+        spec.group_pairs = original
 
 
 # ----------------------------------------------------------------------
@@ -361,3 +457,45 @@ def test_fig19_report_runs_and_shows_the_locality_win():
     assert "Figure 19" in report
     assert "rack-local" in report
     assert "rack-aware placement" in report
+
+
+# ----------------------------------------------------------------------
+# fig16 panel (b): server failure × placement sweep
+# ----------------------------------------------------------------------
+def test_fig16_server_failure_panel_rejects_rackless_topologies():
+    from repro.experiments import fig16_switch_failure as fig16
+
+    with pytest.raises(ExperimentError, match="spine_leaf"):
+        fig16.collect_server_failure(topology="star")
+
+
+def test_fig16_pinned_placement_shapes_the_server_failure_sweep():
+    from repro.experiments.fig16_switch_failure import SF_PLACEMENTS, _sf_placements
+
+    assert _sf_placements(None) == SF_PLACEMENTS
+    assert _sf_placements("global") == ("global",)
+    assert _sf_placements("local") == ("global", "rack-local")
+
+
+def _assert_cells_identical(a, b):
+    assert a.keys() == b.keys()
+    for key in a:
+        if key == "point":
+            assert_points_identical(a[key], b[key])
+        else:
+            assert a[key] == b[key], key
+
+
+@pytest.mark.slow
+def test_fig16_server_failure_sweep_parallel_matches_serial():
+    from repro.experiments import fig16_switch_failure as fig16
+
+    serial = fig16.collect_server_failure(scale=0.05, seed=3, jobs=1)
+    parallel = fig16.collect_server_failure(scale=0.05, seed=3, jobs=4)
+    assert len(serial) == len(parallel) == len(fig16.SF_PLACEMENTS)
+    for cell_a, cell_b in zip(serial, parallel):
+        _assert_cells_identical(cell_a, cell_b)
+    local = next(c for c in serial if c["placement"] == "rack-local")
+    assert local["other_rack_tx_bytes"] == 0.0
+    assert sum(local["trunk_kb"]) == 0.0
+    assert local["table_epoch"] == 2

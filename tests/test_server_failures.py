@@ -1,15 +1,27 @@
-"""Tests for §3.6 server-failure handling via the control plane."""
+"""Tests for §3.6 server-failure handling via the control plane.
+
+Covers the legacy single-rack flow (golden-pinned against a verbatim
+replica of the seed rebuild), the placement-aware multi-ToR flow
+(per-rack tables re-derived from the cluster's policy on removal and
+restoration), the epoch-stamped table push to clients, the fabric-wide
+(not per-rack) minimum-pair guard, and the client-shape validation
+that replaced the seed's silent ``hasattr`` skip.
+"""
 
 import pytest
 
 from repro.core.failures import ServerFailureHandler
+from repro.core.groups import build_group_pairs, ordered_pairs
+from repro.core.placement import GroupTable
 from repro.errors import ExperimentError
 from repro.experiments.common import Cluster, ClusterConfig
 from repro.sim.units import ms
 from repro.switchsim import ControlPlane
 
+from helpers import assert_points_identical
 
-def build(num_servers=4, rate=0.3e6):
+
+def build(num_servers=4, rate=0.3e6, **overrides):
     config = ClusterConfig(
         scheme="netclone",
         num_servers=num_servers,
@@ -18,6 +30,7 @@ def build(num_servers=4, rate=0.3e6):
         measure_ns=ms(30),
         drain_ns=ms(5),
         seed=6,
+        **overrides,
     )
     cluster = Cluster(config)
     control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
@@ -25,6 +38,24 @@ def build(num_servers=4, rate=0.3e6):
         cluster.program, control_plane, clients=cluster.clients
     )
     return cluster, handler
+
+
+def build_spine(num_servers=8, racks=4, placement="rack-local", rate=0.05e6, seed=3):
+    config = ClusterConfig(
+        scheme="netclone",
+        topology="spine_leaf",
+        topology_params={"racks": racks, "spines": 2},
+        placement=placement,
+        num_servers=num_servers,
+        num_clients=4,
+        rate_rps=rate,
+        warmup_ns=0,
+        measure_ns=ms(30),
+        drain_ns=ms(5),
+        seed=seed,
+    )
+    cluster = Cluster(config)
+    return cluster, cluster.failure_handler(op_latency_ns=ms(1))
 
 
 def test_removal_rebuilds_tables_and_groups():
@@ -81,3 +112,329 @@ def test_removal_applies_after_control_plane_latency():
     assert cluster.program.num_groups == 12
     cluster.sim.run(until=apply_at + 1)
     assert cluster.program.num_groups == 6
+
+
+# ----------------------------------------------------------------------
+# Golden: the explicit-global rebuild is bit-identical to the seed's
+# ----------------------------------------------------------------------
+class _SeedReplicaHandler:
+    """The pre-placement-aware rebuild, replicated verbatim.
+
+    This is the seed implementation of ``_apply_removal`` (global pair
+    table over the survivors, count-only client update) kept as a
+    golden reference: the placement-aware handler with the default
+    ``global`` policy must reproduce its runs bit for bit.
+    """
+
+    def __init__(self, program, control_plane, clients=()):
+        self.program = program
+        self.control_plane = control_plane
+        self.clients = list(clients)
+        self.active = dict(self.program.addr_table.entries())
+
+    def remove_server(self, server_id):
+        if server_id not in self.active:
+            raise ExperimentError(f"server {server_id} is not in rotation")
+        if len(self.active) <= 2:
+            raise ExperimentError("cannot drop below two servers")
+        del self.active[server_id]
+        return self.control_plane.submit(self._apply_removal, server_id)
+
+    def _apply_removal(self, server_id):
+        program = self.program
+        survivors = sorted(self.active)
+        pairs = build_group_pairs(len(survivors))
+        for group_id in list(program.grp_table.entries()):
+            program.grp_table.remove(group_id)
+        for group_id, (first, second) in enumerate(pairs):
+            program.grp_table.install(
+                group_id, (survivors[first], survivors[second])
+            )
+        program.num_groups = len(pairs)
+        program.addr_table.remove(server_id)
+        for client in self.clients:
+            if hasattr(client, "num_groups"):
+                client.num_groups = len(pairs)
+
+
+def _run_failure_point(handler_factory):
+    config = ClusterConfig(
+        scheme="netclone",
+        placement="global",
+        num_servers=4,
+        rate_rps=0.3e6,
+        warmup_ns=0,
+        measure_ns=ms(30),
+        drain_ns=ms(5),
+        seed=6,
+    )
+    cluster = Cluster(config)
+    handler = handler_factory(cluster)
+    dead = cluster.servers[1]
+    cluster.sim.at(ms(5), lambda: setattr(cluster.topology.link_of(dead), "down", True))
+    cluster.sim.at(ms(5), handler.remove_server, 1)
+    cluster.start()
+    cluster.run()
+    return cluster, cluster.load_point()
+
+
+def test_explicit_global_failure_rebuild_matches_seed_replica():
+    seed_cluster, seed_point = _run_failure_point(
+        lambda cluster: _SeedReplicaHandler(
+            cluster.program,
+            ControlPlane(cluster.sim, op_latency_ns=ms(1)),
+            clients=cluster.clients,
+        )
+    )
+    new_cluster, new_point = _run_failure_point(
+        lambda cluster: cluster.failure_handler(op_latency_ns=ms(1))
+    )
+    assert_points_identical(seed_point, new_point)
+    # Same rebuilt data plane, entry for entry.
+    assert (
+        seed_cluster.program.grp_table.entries()
+        == new_cluster.program.grp_table.entries()
+    )
+    assert (
+        seed_cluster.program.addr_table.entries()
+        == new_cluster.program.addr_table.entries()
+    )
+
+
+# ----------------------------------------------------------------------
+# restore_server: the symmetric recovery operation
+# ----------------------------------------------------------------------
+def test_restore_server_round_trips_tables_and_addresses():
+    cluster, handler = build(num_servers=4)
+    original_pairs = dict(cluster.program.grp_table.entries())
+    handler.remove_server(2)
+    cluster.sim.run(until=ms(2))
+    assert handler.removed_server_ids == [2]
+    restore_at = handler.restore_server(2)
+    assert restore_at > ms(2)  # the control plane is still slow
+    cluster.sim.run(until=restore_at + 1)
+    assert handler.active_server_ids == [0, 1, 2, 3]
+    assert handler.removed_server_ids == []
+    assert 2 in cluster.program.addr_table
+    assert cluster.program.grp_table.entries() == original_pairs
+    assert cluster.program.num_groups == 12
+    for client in cluster.clients:
+        assert client.num_groups == 12
+
+
+def test_restore_rejects_unknown_and_still_active_servers():
+    cluster, handler = build(num_servers=4)
+    with pytest.raises(ExperimentError, match="already in rotation"):
+        handler.restore_server(1)
+    with pytest.raises(ExperimentError, match="never removed"):
+        handler.restore_server(9)
+
+
+def test_traffic_returns_to_restored_server():
+    cluster, handler = build(num_servers=4)
+    victim = cluster.servers[2]
+    fabric = cluster.topology
+    cluster.sim.at(ms(5), fabric.fail_host, victim)
+    cluster.sim.at(ms(5), handler.remove_server, 2)
+    cluster.sim.at(ms(15), fabric.restore_host, victim)
+    cluster.sim.at(ms(15), handler.restore_server, 2)
+    accepted_mid = {}
+    cluster.sim.at(ms(17), lambda: accepted_mid.update(
+        at_restore=victim.counters.get("requests_accepted")
+    ))
+    cluster.start()
+    cluster.run()
+    # The victim served again after restoration.
+    assert victim.counters.get("requests_accepted") > accepted_mid["at_restore"]
+
+
+# ----------------------------------------------------------------------
+# Placement-aware multi-ToR flow
+# ----------------------------------------------------------------------
+def test_removal_updates_every_tor_not_just_the_primary():
+    cluster, handler = build_spine(num_servers=8, racks=4)
+    handler.remove_server(1)  # rack 1's first server
+    cluster.sim.run(until=ms(2))
+    for program in cluster.programs:
+        assert 1 not in program.addr_table
+        for pair in program.grp_table.entries().values():
+            assert 1 not in pair
+    restore_at = handler.restore_server(1)
+    cluster.sim.run(until=restore_at + 1)
+    for program in cluster.programs:
+        assert 1 in program.addr_table
+
+
+def test_rack_below_two_live_servers_is_legal_fabric_below_two_is_not():
+    # racks=2, 4 servers round-robin: rack 0 holds {0, 2}, rack 1 {1, 3}.
+    cluster, handler = build_spine(num_servers=4, racks=2)
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    # Rack 0 now has a single live server: legal, its ToR fell back to
+    # the global pair set over the survivors.
+    assert list(cluster.programs[0].grp_table.entries().values()) == ordered_pairs(
+        [1, 2, 3]
+    )
+    # Rack 1 still has its two live members: it stays rack-local.
+    assert list(cluster.programs[1].grp_table.entries().values()) == ordered_pairs(
+        [1, 3]
+    )
+    handler.remove_server(2)
+    cluster.sim.run(until=ms(4))
+    # Rack 0 is now empty — still legal; the fabric keeps a pair.
+    assert handler.active_server_ids == [1, 3]
+    with pytest.raises(ExperimentError, match="fabric-wide"):
+        handler.remove_server(1)
+
+
+def test_guard_counts_live_servers_not_address_entries():
+    from repro.core.placement import PlacementContext
+
+    # A context whose live mask already marks a server dead: the guard
+    # must fail at schedule time, not crash inside the deferred rebuild.
+    cluster, _ = build(num_servers=3)
+    control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
+    context = PlacementContext(server_racks=(0, 0, 0), num_racks=1).mark_dead(2)
+    handler = ServerFailureHandler(
+        cluster.program, control_plane, clients=cluster.clients, context=context
+    )
+    with pytest.raises(ExperimentError, match="fabric-wide"):
+        handler.remove_server(0)  # only server 1 would stay live
+
+
+def test_rebuild_stamps_a_fresh_epoch_everywhere():
+    cluster, handler = build_spine(num_servers=8, racks=4)
+    assert all(program.table_epoch == 0 for program in cluster.programs)
+    assert all(client.group_table.epoch == 0 for client in cluster.clients)
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    assert handler.epoch == 1
+    assert all(program.table_epoch == 1 for program in cluster.programs)
+    assert all(client.group_table.epoch == 1 for client in cluster.clients)
+    assert [table.epoch for table in handler.tables] == [1, 1, 1, 1]
+    restore_at = handler.restore_server(0)
+    cluster.sim.run(until=restore_at + 1)
+    assert handler.epoch == 2
+    assert all(program.table_epoch == 2 for program in cluster.programs)
+    assert all(client.group_table.epoch == 2 for client in cluster.clients)
+
+
+def test_clients_get_their_own_racks_table_after_a_rebuild():
+    cluster, handler = build_spine(num_servers=8, racks=4)
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    for client, rack in zip(cluster.clients, cluster.client_racks):
+        assert client.group_table is handler.tables[rack]
+        assert client.num_groups == handler.tables[rack].num_groups
+
+
+# ----------------------------------------------------------------------
+# Client-shape validation (the seed silently skipped unknown shapes)
+# ----------------------------------------------------------------------
+def test_unknown_client_shapes_are_rejected_at_construction():
+    cluster, _ = build(num_servers=3)
+    control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
+    with pytest.raises(ExperimentError, match="install_group_table"):
+        ServerFailureHandler(
+            cluster.program, control_plane, clients=[object()]
+        )
+
+
+def test_count_only_clients_are_updated_via_num_groups():
+    class _CountOnlyClient:
+        name = "count-only"
+        num_groups = 12  # the assembly-time 4-server count
+
+    cluster, _ = build(num_servers=4)
+    client = _CountOnlyClient()
+    control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
+    handler = ServerFailureHandler(
+        cluster.program, control_plane, clients=[client]
+    )
+    handler.remove_server(0)
+    cluster.sim.run(until=ms(2))
+    assert client.num_groups == 6  # 3 survivors -> 3*2 pairs
+
+
+def test_multi_tor_handlers_require_a_placement_context():
+    cluster, _ = build_spine(num_servers=8, racks=4)
+    control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
+    with pytest.raises(ExperimentError, match="PlacementContext"):
+        ServerFailureHandler(
+            cluster.program,
+            control_plane,
+            clients=cluster.clients,
+            programs=cluster.programs,
+        )
+
+
+def test_programs_must_lead_with_the_primary():
+    cluster, _ = build_spine(num_servers=8, racks=4)
+    control_plane = ControlPlane(cluster.sim, op_latency_ns=ms(1))
+    with pytest.raises(ExperimentError, match="primary"):
+        ServerFailureHandler(
+            cluster.programs[1], control_plane, programs=cluster.programs
+        )
+
+
+# ----------------------------------------------------------------------
+# The stale-table aliasing bug: epochs, not sizes, decide staleness
+# ----------------------------------------------------------------------
+class _ScriptedRng:
+    """Replays scripted random()/randrange() values and counts calls."""
+
+    def __init__(self, randoms=(), randranges=()):
+        self.randoms = list(randoms)
+        self.randranges = list(randranges)
+        self.random_calls = 0
+        self.randrange_args = []
+
+    def random(self):
+        self.random_calls += 1
+        return self.randoms.pop(0)
+
+    def randrange(self, n):
+        self.randrange_args.append(n)
+        return self.randranges.pop(0)
+
+
+def _scripted_client(table, rng):
+    """A cluster-built NetClone client re-armed with a scripted RNG."""
+    from helpers import tiny_config
+
+    cluster = Cluster(tiny_config())
+    client = cluster.clients[0]
+    client.install_group_table(table)
+    client.rng = rng
+    return client
+
+
+def test_same_size_count_update_still_invalidates_the_cached_table():
+    # A *sectioned* table: sampling it spends random() + randrange(),
+    # while the uniform fallback spends exactly one randrange() — so
+    # the RNG trace proves which path the draw took.
+    table = GroupTable(pairs=((0, 1), (1, 0), (0, 2), (2, 0)), split=2, p_local=0.5)
+    client = _scripted_client(table, _ScriptedRng(randoms=[0.4], randranges=[1, 2]))
+    assert client._pick_group() == 1  # sectioned draw: random() consumed
+    assert client.rng.random_calls == 1
+    # A count-only control-plane update with the *same* group count:
+    # the seed heuristic (size equality) would keep sampling the dead
+    # sectioned table; the epoch check must not.
+    client.num_groups = 4
+    assert client._pick_group() == 2
+    assert client.rng.random_calls == 1  # uniform fallback: no random()
+    assert client.rng.randrange_args[-1] == 4
+
+
+def test_install_group_table_swaps_table_count_and_epoch_atomically():
+    old = GroupTable(pairs=((0, 1), (1, 0)), split=2)
+    client = _scripted_client(old, _ScriptedRng(randoms=[0.3], randranges=[0]))
+    new = GroupTable(
+        pairs=((2, 3), (3, 2), (2, 4), (4, 2)), split=2, p_local=0.5, epoch=1
+    )
+    client.install_group_table(new)
+    assert client.group_table is new
+    assert client.num_groups == 4
+    assert client._pick_group() == 0  # sampled from the *new* table
+    with pytest.raises(ExperimentError, match="GroupTable"):
+        client.install_group_table([(0, 1)])
