@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test smoke bench drill
+.PHONY: test smoke bench bench-compare bench-update drill
 
 test:  ## full tier-1 suite (what the roadmap's verify line runs)
 	$(PY) -m pytest -x -q
@@ -16,3 +16,9 @@ drill:  ## failure drills end to end (ToR cycle, spine flap, server fail/restore
 
 bench:  ## pytest-benchmark harnesses at reduced scale (REPRO_BENCH_SCALE=0.25)
 	$(PY) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="bench_*"
+
+bench-compare:  ## re-measure BENCH_*.json workloads; fail on a >30% regression
+	$(PY) tools/bench_baseline.py
+
+bench-update:  ## rewrite the checked-in BENCH_*.json baselines
+	$(PY) tools/bench_baseline.py --update

@@ -9,17 +9,28 @@ response filtering is supposed to keep at zero.
 
 Subclasses implement :meth:`build_packets` — the only thing that
 differs between Baseline, C-Clone, LÆDGE and NetClone clients.
+
+Arrival generation is batched: instead of one RNG call + payload
+object + reschedule per request, the client pre-draws whole arrival
+records (request payload, packets, next gap) in chunks of
+``ARRIVAL_CHUNK`` and consumes them index-wise.  The draws come from
+the same per-client RNG streams in the same order as the per-call
+code path, so simulated trajectories are bit-identical — only the
+Python-level bookkeeping is amortised.  Subclasses whose
+``build_packets`` reads simulation time or live client state (and so
+cannot be evaluated early) opt out with ``ARRIVAL_PREDRAW = False``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional
+from heapq import heappush
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ExperimentError
 from repro.metrics.latency import LatencyRecorder
 from repro.net.host import Host
-from repro.net.packet import Packet
+from repro.net.packet import PROTO_UDP, Packet, PacketPool
 from repro.sim.core import Simulator
 
 __all__ = ["OpenLoopClient"]
@@ -27,6 +38,13 @@ __all__ = ["OpenLoopClient"]
 
 class OpenLoopClient(Host):
     """Generates requests at a fixed average rate and measures latency."""
+
+    #: Whether arrival records may be pre-drawn ahead of simulated time.
+    #: Requires ``build_packets`` to depend only on the client RNG and
+    #: static configuration — never on ``sim.now`` or live state.
+    ARRIVAL_PREDRAW = True
+    #: Arrival records drawn per refill.
+    ARRIVAL_CHUNK = 64
 
     def __init__(
         self,
@@ -42,6 +60,7 @@ class OpenLoopClient(Host):
         tx_cost_ns: int = 700,
         rx_cost_ns: int = 300,
         rx_queue_limit: int = 4096,
+        packet_pool: Optional[PacketPool] = None,
     ):
         super().__init__(
             sim,
@@ -59,24 +78,126 @@ class OpenLoopClient(Host):
         self.recorder = recorder
         self.rng = rng
         self.stop_at_ns = stop_at_ns
+        self.packet_pool = packet_pool
         self._mean_gap_ns = 1e9 / rate_rps
+        #: Sequence number of the last request actually sent.
         self._seq = 0
+        #: High-water mark of pre-drawn sequence numbers (>= ``_seq``).
+        self._predrawn_seq = 0
         self._outstanding: Dict[int, int] = {}
+        #: Pre-drawn (seq, request, packets, gap) records and read cursor.
+        self._arrivals: List[Optional[Tuple[int, Any, List[Packet], int]]] = []
+        self._arrival_idx = 0
         self.redundant_responses = 0
         self.responses_received = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin the open-loop arrival process."""
-        self.sim.schedule(self._next_gap(), self._send_one)
+        self.sim.call_after(self._next_gap(), self._send_one)
 
     def _next_gap(self) -> int:
         return int(self.rng.expovariate(1.0) * self._mean_gap_ns) + 1
 
+    def _new_packet(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        size: int,
+        payload: Any = None,
+        nc: Optional[Any] = None,
+        proto: int = PROTO_UDP,
+    ) -> Packet:
+        """Build one outbound packet, recycling through the pool if set."""
+        pool = self.packet_pool
+        if pool is not None:
+            return pool.acquire(
+                src, dst, sport, dport, size, payload=payload, nc=nc, proto=proto
+            )
+        return Packet(src, dst, sport, dport, size, payload=payload, nc=nc, proto=proto)
+
+    def _refill_arrivals(self) -> None:
+        """Pre-draw the next chunk of arrival records.
+
+        Draw order per request matches the per-call path exactly —
+        request payload (workload stream), then packets, then gap
+        (client stream) — so both RNG streams stay bit-identical; only
+        *when* the draws happen (in batches, ahead of simulated time)
+        changes, which no draw depends on.
+        """
+        chunk = self.ARRIVAL_CHUNK
+        seq = self._predrawn_seq
+        make_chunk = getattr(self.workload, "make_request_chunk", None)
+        if make_chunk is not None:
+            requests = make_chunk(self.client_id, seq + 1, chunk)
+        else:
+            requests = [
+                self.workload.make_request(self.client_id, seq + 1 + i)
+                for i in range(chunk)
+            ]
+        buf: List[Optional[Tuple[int, Any, List[Packet], int]]] = []
+        for request in requests:
+            seq += 1
+            buf.append((seq, request, self.build_packets(request), self._next_gap()))
+        self._predrawn_seq = seq
+        self._arrivals = buf
+        self._arrival_idx = 0
+
+    def _flush_arrivals(self) -> None:
+        """Discard pre-drawn arrivals (their packets go back to the pool).
+
+        Used when a control-plane update invalidates pre-built packets
+        (e.g. a new group table): the records were drawn against state
+        that no longer exists, so they must not reach the wire.
+        """
+        for record in self._arrivals[self._arrival_idx:]:
+            if record is None:
+                continue
+            for packet in record[2]:
+                packet.release()
+        self._arrivals = []
+        self._arrival_idx = 0
+        # Flushed records were never sent, so their sequence numbers
+        # are free again; re-drawing them keeps sent seqs contiguous.
+        self._predrawn_seq = self._seq
+
     def _send_one(self) -> None:
         if self.stop_at_ns is not None and self.sim.now >= self.stop_at_ns:
             return
+        if self.ARRIVAL_PREDRAW:
+            idx = self._arrival_idx
+            if idx >= len(self._arrivals):
+                self._refill_arrivals()
+                idx = 0
+            record = self._arrivals[idx]
+            self._arrivals[idx] = None  # the record's refs die with the send
+            self._arrival_idx = idx + 1
+            seq, request, packets, gap = record
+            self._seq = seq
+            send_time = self.sim.now
+            self._outstanding[seq] = send_time
+            self.recorder.note_sent(send_time)
+            for packet in packets:
+                packet.created_at = send_time
+                self.send(packet)
+            # Simulator.call_after push inlined (keep in sync with
+            # sim/core.py) — pre-drawn gaps are non-negative ints.
+            sim = self.sim
+            when = sim.now + gap
+            seq = sim._seq + 1
+            sim._seq = seq
+            tail = sim._tail
+            if not tail or when >= tail[-1][0]:
+                tail.append((when, seq, self._send_one, ()))
+            else:
+                heappush(sim._heap, (when, seq, self._send_one, ()))
+            return
+        # Per-call path for clients whose packet construction must see
+        # live state (time-based hedging, retransmit bookkeeping, ...).
         self._seq += 1
+        self._predrawn_seq = self._seq
         seq = self._seq
         request = self.workload.make_request(self.client_id, seq)
         send_time = self.sim.now
@@ -85,7 +206,7 @@ class OpenLoopClient(Host):
         for packet in self.build_packets(request):
             packet.created_at = send_time
             self.send(packet)
-        self.sim.schedule(self._next_gap(), self._send_one)
+        self.sim.call_after(self._next_gap(), self._send_one)
 
     # ------------------------------------------------------------------
     def build_packets(self, request: Any) -> List[Packet]:
@@ -96,14 +217,17 @@ class OpenLoopClient(Host):
     def handle(self, packet: Packet) -> None:
         payload = packet.payload
         if payload is None or payload.client_id != self.client_id:
+            packet.release()
             return
         self.responses_received += 1
         sent = self._outstanding.pop(payload.client_seq, None)
         if sent is None:
             # Second (redundant) response for an already-completed request.
             self.redundant_responses += 1
+            packet.release()
             return
         self.recorder.record(sent, self.sim.now)
+        packet.release()
 
     @property
     def outstanding(self) -> int:

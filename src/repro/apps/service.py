@@ -23,6 +23,16 @@ __all__ = ["KvService", "ServiceModel", "SyntheticService"]
 class ServiceModel:
     """Base class for per-server request execution."""
 
+    #: True when ``base_service_ns`` is exactly ``payload.service_ns``
+    #: and ``execute`` is a no-op — lets the server's per-request hot
+    #: path skip two method dispatches.
+    trivial_spin = False
+
+    #: Payload-independent response size in bytes, or ``None`` when
+    #: :meth:`response_size` actually depends on the payload.  Lets the
+    #: server skip one method dispatch per response.
+    fixed_response_size: Optional[int] = None
+
     def base_service_ns(self, payload: Any) -> int:
         """Base service time of *payload* (before execution jitter)."""
         raise NotImplementedError
@@ -40,6 +50,8 @@ class SyntheticService(ServiceModel):
     """Dummy RPC: spin for the duration carried in the request."""
 
     RESPONSE_SIZE = 128
+    trivial_spin = True
+    fixed_response_size = RESPONSE_SIZE
 
     def base_service_ns(self, payload: RpcRequest) -> int:
         return payload.service_ns

@@ -48,7 +48,7 @@ class CCloneClient(OpenLoopClient):
         destinations = self.rng.sample(self.server_ips, self.d)
         size = self.workload.request_size(request)
         return [
-            Packet(
+            self._new_packet(
                 src=self.ip,
                 dst=destination,
                 sport=PLAIN_RPC_PORT,

@@ -48,7 +48,7 @@ class LaedgeClient(OpenLoopClient):
 
     def build_packets(self, request: Any) -> List[Packet]:
         return [
-            Packet(
+            self._new_packet(
                 src=self.ip,
                 dst=self.coordinator_ip,
                 sport=LAEDGE_PORT,

@@ -31,7 +31,7 @@ class BaselineClient(OpenLoopClient):
     def build_packets(self, request: Any) -> List[Packet]:
         destination = self.rng.choice(self.server_ips)
         return [
-            Packet(
+            self._new_packet(
                 src=self.ip,
                 dst=destination,
                 sport=PLAIN_RPC_PORT,

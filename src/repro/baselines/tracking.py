@@ -34,6 +34,10 @@ __all__ = ["OutstandingTrackingClient"]
 class OutstandingTrackingClient(OpenLoopClient):
     """Open-loop client routing on its own outstanding-request counts."""
 
+    #: ``build_packets`` routes on live outstanding counts and the
+    #: clock, so arrivals cannot be pre-drawn ahead of simulated time.
+    ARRIVAL_PREDRAW = False
+
     def __init__(
         self,
         *args: Any,

@@ -87,6 +87,8 @@ class NetCloneClient(OpenLoopClient):
         self._group_table = table
         self._num_groups = table.num_groups
         self._table_epoch = table.epoch
+        # Pre-drawn arrivals hold group IDs sampled from the old table.
+        self._flush_arrivals()
 
     @property
     def group_table(self) -> Optional[GroupTable]:
@@ -114,6 +116,8 @@ class NetCloneClient(OpenLoopClient):
         # match (the epoch mismatch below is what _pick_group checks).
         self._num_groups = int(value)
         self._table_epoch = None
+        # Pre-drawn arrivals may reference groups past the new count.
+        self._flush_arrivals()
 
     def _pick_group(self) -> int:
         """One group ID from the local ToR's table.
@@ -143,13 +147,21 @@ class NetCloneClient(OpenLoopClient):
             idx=self.rng.randrange(self.num_filter_tables),
             swid=0,
         )
-        packet = Packet(
-            src=self.ip,
-            dst=VIRTUAL_SERVICE_IP,
-            sport=NETCLONE_UDP_PORT,
-            dport=NETCLONE_UDP_PORT,
-            size=self.workload.request_size(request) + NetCloneHeader.WIRE_SIZE,
-            payload=request,
-            nc=header,
-        )
+        size = self.workload.request_size(request) + NetCloneHeader.WIRE_SIZE
+        pool = self.packet_pool
+        if pool is not None:
+            packet = pool.acquire(
+                self.ip, VIRTUAL_SERVICE_IP, NETCLONE_UDP_PORT, NETCLONE_UDP_PORT,
+                size, request, header,
+            )
+        else:
+            packet = Packet(
+                src=self.ip,
+                dst=VIRTUAL_SERVICE_IP,
+                sport=NETCLONE_UDP_PORT,
+                dport=NETCLONE_UDP_PORT,
+                size=size,
+                payload=request,
+                nc=header,
+            )
         return [packet]

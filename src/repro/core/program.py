@@ -106,6 +106,8 @@ class NetCloneProgram(SwitchProgram):
         self.cloning_enabled = cloning_enabled
         self.filtering_enabled = filtering_enabled
         self.scheduler = scheduler
+        # Per-packet paths test a bool, not a string compare.
+        self._jsq = scheduler == SCHED_JSQ
         self.num_servers = len(server_ips)
 
         place = self.pipeline
@@ -182,7 +184,7 @@ class NetCloneProgram(SwitchProgram):
     # ------------------------------------------------------------------
     def apply(
         self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
-    ) -> PipelineAction:
+    ) -> Optional[PipelineAction]:
         nc = packet.nc
         if nc.msg_type == MSG_REQ:
             if packet.recirculated:
@@ -191,13 +193,12 @@ class NetCloneProgram(SwitchProgram):
         if nc.msg_type == MSG_RESP:
             return self._apply_response(packet, ctx, switch)
         # Unknown message type: fall back to plain forwarding.
-        return PipelineAction()
+        return None
 
     # -- requests (Algorithm 1, lines 1-10) ------------------------------
     def _apply_request(
         self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
-    ) -> PipelineAction:
-        action = PipelineAction()
+    ) -> Optional[PipelineAction]:
         nc = packet.nc
         if nc.swid == SWID_UNSET:
             nc.swid = self.switch_id
@@ -208,6 +209,7 @@ class NetCloneProgram(SwitchProgram):
         pair = ctx.table(self.grp_table, nc.grp)
         if pair is None:
             switch.counters.incr("nc_unknown_group")
+            action = PipelineAction()
             action.drop = True
             return action
         srv1, srv2 = pair
@@ -222,25 +224,29 @@ class NetCloneProgram(SwitchProgram):
             and state2 == STATE_IDLE
         )
         destination = srv1
+        action = None
         if may_clone:
             # Mark as cloned original, remember the clone's server in
             # SID, and recirculate a copy that will pick up its IP on
             # the second pass (lines 7-9).
             nc.clo = CLO_CLONED_ORIGINAL
             nc.sid = srv2
+            action = PipelineAction()
             action.recirculate.append(packet.copy())
-            switch.counters.incr("nc_cloned")
+            switch._counts["nc_cloned"] += 1
         else:
             if nc.clo == CLO_NEVER_CLONE:
                 nc.clo = CLO_NOT_CLONED
-            if self.scheduler == SCHED_JSQ and state2 < state1:
+            if self._jsq and state2 < state1:
                 # RackSched fallback: join the shorter queue (§3.7).
                 destination = srv2
-                switch.counters.incr("nc_jsq_second_choice")
+                switch._counts["nc_jsq_second_choice"] += 1
 
         address = ctx.table(self.addr_table, destination)
         if address is None:
             switch.counters.incr("nc_unknown_server")
+            if action is None:
+                action = PipelineAction()
             action.drop = True
             return action
         packet.dst = address
@@ -249,50 +255,48 @@ class NetCloneProgram(SwitchProgram):
     # -- recirculated clones (lines 11-13) --------------------------------
     def _apply_cloned_request(
         self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
-    ) -> PipelineAction:
-        action = PipelineAction()
+    ) -> Optional[PipelineAction]:
         nc = packet.nc
         nc.clo = CLO_CLONED_COPY
         address = ctx.table(self.addr_table, nc.sid)
         if address is None:
             switch.counters.incr("nc_unknown_server")
+            action = PipelineAction()
             action.drop = True
             return action
         packet.dst = address
-        return action
+        return None
 
     # -- responses (lines 14-26) ------------------------------------------
     def _apply_response(
         self, packet: Packet, ctx: PassContext, switch: ProgrammableSwitch
-    ) -> PipelineAction:
-        action = PipelineAction()
+    ) -> Optional[PipelineAction]:
         nc = packet.nc
         reported_state = nc.state
 
-        ctx.reg(self.state_table, nc.sid, update=lambda _old: reported_state)
-        ctx.reg(self.shadow_table, nc.sid, update=lambda _old: reported_state)
+        ctx.reg_set(self.state_table, nc.sid, reported_state)
+        ctx.reg_set(self.shadow_table, nc.sid, reported_state)
 
         if nc.clo == CLO_NOT_CLONED or not self.filtering_enabled:
-            return action
+            return None
 
-        slot = ctx.hash(self.hash_unit, nc.req_id)
-        filter_table = self.filters[nc.idx % len(self.filters)]
         req_id = nc.req_id
-        old, _new = ctx.reg(
-            filter_table,
-            slot,
-            update=lambda value: 0 if value == req_id else req_id,
-        )
+        slot = ctx.hash(self.hash_unit, req_id)
+        filter_table = self.filters[nc.idx % len(self.filters)]
+        # Single stateful compare-and-swap: clear on match, insert
+        # otherwise (no per-packet update closure).
+        old = ctx.reg_swap(filter_table, slot, req_id)
         if old == req_id:
             # The faster response already passed: this is the slower
             # one.  The slot was cleared for reuse by the update above.
-            switch.counters.incr("nc_filtered")
+            switch._counts["nc_filtered"] += 1
+            action = PipelineAction()
             action.drop = True
-        else:
-            if old != 0:
-                switch.counters.incr("nc_fingerprint_overwrite")
-            switch.counters.incr("nc_fingerprint_insert")
-        return action
+            return action
+        if old != 0:
+            switch._counts["nc_fingerprint_overwrite"] += 1
+        switch._counts["nc_fingerprint_insert"] += 1
+        return None
 
     # ------------------------------------------------------------------
     def on_register_wipe(self) -> None:

@@ -45,6 +45,10 @@ __all__ = ["ReliableNetCloneClient"]
 class ReliableNetCloneClient(OpenLoopClient):
     """NetClone client with client-assigned IDs and retransmission."""
 
+    #: ``build_packets`` arms the retransmit timer (live bookkeeping),
+    #: so arrivals cannot be pre-drawn ahead of simulated time.
+    ARRIVAL_PREDRAW = False
+
     def __init__(
         self,
         *args: Any,
@@ -75,7 +79,7 @@ class ReliableNetCloneClient(OpenLoopClient):
         seq = request.client_seq
         self._attempts[seq] = 1
         self._requests[seq] = request
-        self.sim.schedule(self.retransmit_timeout_ns, self._maybe_retransmit, seq)
+        self.sim.call_after(self.retransmit_timeout_ns, self._maybe_retransmit, seq)
         return [self._packet_for(request)]
 
     def _packet_for(self, request: Any) -> Packet:
@@ -116,7 +120,7 @@ class ReliableNetCloneClient(OpenLoopClient):
         packet = self._packet_for(self._requests[seq])
         packet.created_at = self.sim.now
         self.send(packet)
-        self.sim.schedule(self.retransmit_timeout_ns, self._maybe_retransmit, seq)
+        self.sim.call_after(self.retransmit_timeout_ns, self._maybe_retransmit, seq)
 
     def handle(self, packet: Packet) -> None:
         payload = packet.payload

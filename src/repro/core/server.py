@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, Optional
 
 from repro.apps.service import ServiceModel
@@ -31,7 +32,7 @@ from repro.core.constants import (
 )
 from repro.errors import ExperimentError
 from repro.net.host import Host
-from repro.net.packet import Packet
+from repro.net.packet import PROTO_UDP, Packet
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter
 from repro.workloads.distributions import JitterModel
@@ -58,6 +59,7 @@ class RpcServer(Host):
         tx_cost_ns: int = 700,
         rx_cost_ns: int = 500,
         rx_queue_limit: int = 16384,
+        packet_pool: Optional[Any] = None,
     ):
         super().__init__(
             sim,
@@ -80,9 +82,17 @@ class RpcServer(Host):
         self.drop_stale_clones = drop_stale_clones
         #: LÆDGE routes responses through the coordinator.
         self.reply_to_ip = reply_to_ip
+        #: Pool to recycle request packets into / draw responses from.
+        self.packet_pool = packet_pool
         self.queue: Deque[Packet] = deque()
         self.busy_workers = 0
         self.counters = Counter()
+        # Hot-path shortcuts: per-request counter bumps go straight to
+        # the dict (Counter.reset clears in place, alias stays valid),
+        # and trivial-spin services skip two dispatches per execution.
+        self._counts = self.counters._counts
+        self._trivial_spin = bool(getattr(service, "trivial_spin", False))
+        self._fixed_resp_size = getattr(service, "fixed_response_size", None)
         #: Samples of the queue length at response time (Figure 13a).
         self.state_samples_zero = 0
         self.state_samples_total = 0
@@ -97,7 +107,8 @@ class RpcServer(Host):
     def handle(self, packet: Packet) -> None:
         nc = packet.nc
         if nc is not None and nc.msg_type != MSG_REQ:
-            self.counters.incr("non_request_ignored")
+            self._counts["non_request_ignored"] += 1
+            packet.release()
             return
         if (
             self.netclone_mode
@@ -108,9 +119,10 @@ class RpcServer(Host):
         ):
             # Stale cloning decision: the tracked state said idle, the
             # actual state is busy.  Drop the clone, never the original.
-            self.counters.incr("clones_dropped")
+            self._counts["clones_dropped"] += 1
+            packet.release()
             return
-        self.counters.incr("requests_accepted")
+        self._counts["requests_accepted"] += 1
         if self.busy_workers < self.num_workers:
             self.busy_workers += 1
             self._start_work(packet)
@@ -118,14 +130,34 @@ class RpcServer(Host):
             self.queue.append(packet)
 
     def _start_work(self, packet: Packet) -> None:
+        if self._trivial_spin:
+            # JitterModel.apply inlined (factor >= 1 is ctor-enforced,
+            # so the never-shorten invariant holds by construction).
+            base = packet.payload.service_ns
+            jitter = self.jitter
+            if jitter.p > 0.0 and self.rng.random() < jitter.p:
+                base = int(base * jitter.factor)
+            # Simulator.call_after push inlined (keep in sync with
+            # sim/core.py) — one service completion per request.
+            sim = self.sim
+            when = sim.now + base
+            seq = sim._seq + 1
+            sim._seq = seq
+            tail = sim._tail
+            if not tail or when >= tail[-1][0]:
+                tail.append((when, seq, self._finish_work, (packet,)))
+            else:
+                heappush(sim._heap, (when, seq, self._finish_work, (packet,)))
+            return
         base = self.service.base_service_ns(packet.payload)
         duration = self.jitter.apply(base, self.rng)
         if duration < base:
             raise ExperimentError("jitter must never shorten execution")
-        self.sim.schedule(duration, self._finish_work, packet)
+        self.sim.call_after(duration, self._finish_work, packet)
 
     def _finish_work(self, packet: Packet) -> None:
-        self.service.execute(packet.payload)
+        if not self._trivial_spin:
+            self.service.execute(packet.payload)
         # Hand the next queued request to this worker thread first, so
         # the piggybacked state reflects the queue after the dispatch.
         if self.queue:
@@ -139,23 +171,49 @@ class RpcServer(Host):
         self.state_samples_total += 1
         if queue_len == 0:
             self.state_samples_zero += 1
-        response = Packet(
-            src=self.ip,
-            dst=self.reply_to_ip if self.reply_to_ip is not None else request.src,
-            sport=NETCLONE_UDP_PORT,
-            dport=request.dport if request.nc is not None else request.sport,
-            size=self.service.response_size(request.payload),
-            payload=request.payload,
-            created_at=request.created_at,
-        )
         nc = request.nc
+        resp_nc = None
         if nc is not None:
-            resp_nc = nc.copy()
+            # The request's life ends in this call (released below) and
+            # nothing else holds its header — clones carry their own
+            # copy — so the response steals it instead of copying.
+            resp_nc = nc
             resp_nc.msg_type = MSG_RESP
             resp_nc.sid = self.server_id
             resp_nc.state = min(queue_len, 255) if self.netclone_mode else 0
-            response.nc = resp_nc
-        self.counters.incr("responses_sent")
+        dst = self.reply_to_ip if self.reply_to_ip is not None else request.src
+        dport = request.dport if nc is not None else request.sport
+        size = self._fixed_resp_size
+        if size is None:
+            size = self.service.response_size(request.payload)
+        pool = self.packet_pool
+        if pool is not None:
+            response = pool.acquire(
+                self.ip,
+                dst,
+                NETCLONE_UDP_PORT,
+                dport,
+                size,
+                request.payload,
+                resp_nc,
+                PROTO_UDP,
+                request.created_at,
+            )
+        else:
+            response = Packet(
+                src=self.ip,
+                dst=dst,
+                sport=NETCLONE_UDP_PORT,
+                dport=dport,
+                size=size,
+                payload=request.payload,
+                nc=resp_nc,
+                created_at=request.created_at,
+            )
+        # The response now owns the payload reference; the request's
+        # life on the wire is over.
+        request.release()
+        self._counts["responses_sent"] += 1
         self.send(response)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,8 @@ below is derived from the registry.
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -49,6 +51,7 @@ from repro.metrics.latency import LatencyRecorder
 from repro.metrics.links import trunk_summary
 from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.net.host import Host
+from repro.net.packet import PacketPool
 from repro.net.topology import Fabric
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
@@ -204,6 +207,10 @@ class Cluster:
         )
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
+        #: Per-cluster packet recycler and uid authority: every client
+        #: request and server response cycles through it, and uid
+        #: streams restart at 1 for each built cluster.
+        self.packet_pool = PacketPool()
         self.recorder = LatencyRecorder(warmup_ns=config.warmup_ns, end_ns=config.end_ns)
         self.topology: Fabric = self.topology_spec.make_fabric(
             TopologyContext(sim=self.sim, config=config)
@@ -256,6 +263,7 @@ class Cluster:
                 reply_to_ip=context.coordinator_ip,
                 tx_cost_ns=config.server_tx_ns,
                 rx_cost_ns=config.server_rx_ns,
+                packet_pool=self.packet_pool,
             )
             fabric.attach(server, "server", index)
             self.servers.append(server)
@@ -312,6 +320,7 @@ class Cluster:
                 stop_at_ns=config.end_ns,
                 tx_cost_ns=config.client_tx_ns,
                 rx_cost_ns=config.client_rx_ns,
+                packet_pool=self.packet_pool,
             )
             client = spec.make_client(context, common)
             fabric.attach(client, "client", index)
@@ -378,8 +387,23 @@ class Cluster:
             client.start()
 
     def run(self, until: Optional[int] = None) -> None:
-        """Run to *until* (default: the configured total duration)."""
-        self.sim.run(until=self.config.total_ns if until is None else until)
+        """Run to *until* (default: the configured total duration).
+
+        The generational GC is paused for the duration of the event
+        loop: the hot path recycles packets through pools and frees
+        everything else by refcount (event tuples, headers, pass
+        contexts are acyclic), so generation scans find nothing and
+        their mark passes are pure overhead at millions of events per
+        point.  Normal collection resumes when the loop returns.
+        """
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            self.sim.run(until=self.config.total_ns if until is None else until)
+        finally:
+            if was_enabled:
+                gc.enable()
 
     # ------------------------------------------------------------------
     def load_point(self) -> LoadPoint:

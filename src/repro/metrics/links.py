@@ -98,12 +98,12 @@ class TrunkByteMonitor:
         #: of window *w* (filled as the simulation reaches each edge).
         self._samples: List[List[int]] = []
         self._sim = sim
-        sim.schedule(window_ns, self._tick)
+        sim.call_after(window_ns, self._tick)
 
     def _tick(self) -> None:
         self._samples.append([link.tx_bytes for link in self.links])
         if len(self._samples) < self.num_windows:
-            self._sim.schedule(self.window_ns, self._tick)
+            self._sim.call_after(self.window_ns, self._tick)
 
     def window_starts_sec(self) -> List[float]:
         """Start time of each window, in seconds."""

@@ -20,6 +20,7 @@ from repro.net.packet import (
     PROTO_TCP,
     PROTO_UDP,
     Packet,
+    PacketPool,
 )
 from repro.net.topology import (
     EcmpSpinePolicy,
@@ -51,6 +52,7 @@ __all__ = [
     "PROTO_TCP",
     "PROTO_UDP",
     "Packet",
+    "PacketPool",
     "PacketTracer",
     "SingleRackFabric",
     "SpineLeafFabric",

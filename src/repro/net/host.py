@@ -7,6 +7,7 @@ to :meth:`handle`, which applications override.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Optional
 
 from repro.errors import NetworkError
@@ -49,10 +50,71 @@ class Host:
         self.link = link
 
     def send(self, packet: Packet) -> None:
-        """Send *packet* through the NIC TX path onto the uplink."""
-        if self.link is None:
+        """Send *packet* through the NIC TX path onto the uplink.
+
+        The hot path books the NIC TX slot *and* the uplink's
+        serialisation slot in one step, at call time: each direction of
+        the uplink has this host as its only sender and TX completion
+        times are nondecreasing, so the link booking a departure at
+        ``done`` would make is already known now — no TX-done event.
+        Links that can drop (down or lossy) fall back to the evented
+        path, which re-evaluates the link when the packet actually
+        leaves the NIC.
+        """
+        link = self.link
+        if link is None:
             raise NetworkError(f"{self.name} has no link attached")
-        self.nic.tx(packet, self._emit)
+        nic = self.nic
+        now = self.sim.now
+        start = nic._tx_free_at
+        if start < now:
+            start = now
+        done = start + nic.tx_cost_ns
+        nic._tx_free_at = done
+        nic.tx_count += 1
+        if link.down or link.loss_probability > 0.0:
+            if done == now:
+                link.send(packet, self)
+            else:
+                self.sim.call_at(done, self._emit, packet)
+            return
+        size = packet.size
+        ser = link._ser_ns.get(size)
+        if ser is None:
+            ser = link.serialization_ns(size)
+        if link.a is self:
+            lstart = link._free_at_a
+            if lstart < done:
+                lstart = done
+            done_serialising = lstart + ser
+            link._free_at_a = done_serialising
+            link._tx_bytes_a += size
+            mode = link._mode_b
+            entry = link._entry_b
+            when = done_serialising + link._sched_off_b
+        else:
+            lstart = link._free_at_b
+            if lstart < done:
+                lstart = done
+            done_serialising = lstart + ser
+            link._free_at_b = done_serialising
+            link._tx_bytes_b += size
+            mode = link._mode_a
+            entry = link._entry_a
+            when = done_serialising + link._sched_off_a
+        link.tx_count += 1
+        sim = self.sim
+        if mode == 2:
+            entry(packet, when)
+            return
+        # Simulator.call_at push inlined (keep in sync with sim/core.py).
+        seq = sim._seq + 1
+        sim._seq = seq
+        tail = sim._tail
+        if not tail or when >= tail[-1][0]:
+            tail.append((when, seq, entry, (packet, link)))
+        else:
+            heappush(sim._heap, (when, seq, entry, (packet, link)))
 
     def _emit(self, packet: Packet) -> None:
         assert self.link is not None
@@ -61,6 +123,37 @@ class Host:
     def deliver(self, packet: Packet, link: Link) -> None:
         """Called by the link when *packet* arrives at this host."""
         self.nic.rx(packet, self.handle)
+
+    def link_rx_at(self, packet: Packet, arrival: int) -> None:
+        """Fused link arrival + NIC RX accounting, called at *send* time.
+
+        A host has exactly one uplink, and a link direction delivers in
+        nondecreasing arrival order, so the RX resource booking for an
+        arrival at ``arrival`` can be computed when the packet is put
+        on the wire — the per-packet deliver event disappears and only
+        the handler dispatch at RX completion remains.
+        """
+        nic = self.nic
+        start = nic._rx_free_at
+        if start < arrival:
+            start = arrival
+        cost = nic.rx_cost_ns
+        if cost > 0 and (start - arrival) // cost >= nic.rx_queue_limit:
+            nic.rx_dropped += 1
+            packet.release()
+            return
+        done = start + cost
+        nic._rx_free_at = done
+        nic.rx_count += 1
+        # Simulator.call_at push inlined (keep in sync with sim/core.py).
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        tail = sim._tail
+        if not tail or done >= tail[-1][0]:
+            tail.append((done, seq, self.handle, (packet,)))
+        else:
+            heappush(sim._heap, (done, seq, self.handle, (packet,)))
 
     # ------------------------------------------------------------------
     def handle(self, packet: Packet) -> None:

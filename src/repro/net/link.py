@@ -10,12 +10,18 @@ link)`` method).  Each direction models:
 At 100 Gb/s a 128 B packet serialises in ~10 ns, so serialisation is
 rarely the bottleneck in these experiments, but it is modelled so that
 congestion behaves correctly if an experiment drives a link hard.
+
+This module is the single hottest non-engine path (one ``send`` per
+packet per hop), so the per-direction state lives in plain attributes
+selected by endpoint identity — no ``id()``-keyed dict lookups — and
+the serialisation delay is memoised per packet size (experiments use a
+handful of sizes, recomputing float math per send is pure waste).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.errors import NetworkError
 from repro.sim.core import Simulator
@@ -50,9 +56,13 @@ class Link:
         self.a = a
         self.b = b
         self.propagation_ns = propagation_ns
-        self.bandwidth_bps = bandwidth_bps
+        self._bandwidth_bps = bandwidth_bps
+        self._ser_ns: Dict[int, int] = {}
         self.name = name or f"link({getattr(a, 'name', a)}-{getattr(b, 'name', b)})"
-        self._free_at = {id(a): 0, id(b): 0}
+        #: Per-direction serialisation horizon (next time the direction
+        #: is free), one plain attribute per direction.
+        self._free_at_a = 0
+        self._free_at_b = 0
         #: Set True to drop everything (used by failure experiments).
         self.down = False
         #: Random per-packet loss (used by the reliability tests).
@@ -60,20 +70,66 @@ class Link:
         self._loss_rng = loss_rng if loss_rng is not None else random.Random(0x105)
         self.tx_count = 0
         self.drop_count = 0
-        #: Bytes clocked onto the wire per direction (keyed by the
-        #: sending endpoint's id, like ``_free_at``).  These feed
+        #: Per-direction delivery dispatch, resolved once at wiring
+        #: time: 1 = fused switch ingress (scheduled at arrival +
+        #: pipeline latency), 2 = fused host RX (booked at send time),
+        #: 0 = generic ``deliver`` event at arrival.
+        self._mode_a, self._entry_a = self._resolve_entry(a)
+        self._mode_b, self._entry_b = self._resolve_entry(b)
+        #: Per-direction schedule offset from serialisation-done to the
+        #: scheduled callback time: propagation, plus the destination's
+        #: pipeline latency when the entry is a fused switch ingress.
+        self._sched_off_a = propagation_ns + (
+            a.pipeline_latency_ns if self._mode_a == 1 else 0
+        )
+        self._sched_off_b = propagation_ns + (
+            b.pipeline_latency_ns if self._mode_b == 1 else 0
+        )
+        #: Ingress port numbers at each endpoint, filled in by
+        #: ``ProgrammableSwitch.connect`` — the fused ingress path reads
+        #: them instead of an ``id()``-keyed reverse map.
+        self._port_a: Optional[int] = None
+        self._port_b: Optional[int] = None
+        #: Bytes clocked onto the wire per direction.  These feed
         #: congestion-aware route policies and the per-link utilization
         #: series in :mod:`repro.metrics.links`.
-        self._tx_bytes_from = {id(a): 0, id(b): 0}
+        self._tx_bytes_a = 0
+        self._tx_bytes_b = 0
+
+    @staticmethod
+    def _resolve_entry(endpoint: Any):
+        entry = getattr(endpoint, "link_ingress", None)
+        if entry is not None:
+            return 1, entry
+        entry = getattr(endpoint, "link_rx_at", None)
+        if entry is not None:
+            return 2, entry
+        return 0, endpoint.deliver
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Line rate in bits per second."""
+        return self._bandwidth_bps
+
+    @bandwidth_bps.setter
+    def bandwidth_bps(self, value: float) -> None:
+        if value <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self._bandwidth_bps = value
+        self._ser_ns.clear()  # memoised delays are per line rate
 
     @property
     def tx_bytes(self) -> int:
         """Total bytes transmitted, both directions."""
-        return sum(self._tx_bytes_from.values())
+        return self._tx_bytes_a + self._tx_bytes_b
 
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to clock *size_bytes* onto the wire at the line rate."""
-        return int(round(size_bytes * _BITS / self.bandwidth_bps * 1e9))
+        cached = self._ser_ns.get(size_bytes)
+        if cached is None:
+            cached = int(round(size_bytes * _BITS / self._bandwidth_bps * 1e9))
+            self._ser_ns[size_bytes] = cached
+        return cached
 
     def backlog_ns(self, from_endpoint: Any) -> int:
         """Serialisation backlog a new packet from *from_endpoint* would
@@ -82,17 +138,22 @@ class Link:
         This is the congestion signal the ``least-loaded`` spine policy
         reads: it is exact (not sampled) and costs nothing to maintain.
         """
-        key = id(from_endpoint)
-        if key not in self._free_at:
+        if from_endpoint is self.a:
+            free_at = self._free_at_a
+        elif from_endpoint is self.b:
+            free_at = self._free_at_b
+        else:
             raise NetworkError(f"{from_endpoint!r} is not attached to {self.name}")
-        return max(0, self._free_at[key] - self.sim.now)
+        backlog = free_at - self.sim.now
+        return backlog if backlog > 0 else 0
 
     def bytes_from(self, from_endpoint: Any) -> int:
         """Bytes transmitted in the *from_endpoint* → other direction."""
-        key = id(from_endpoint)
-        if key not in self._tx_bytes_from:
-            raise NetworkError(f"{from_endpoint!r} is not attached to {self.name}")
-        return self._tx_bytes_from[key]
+        if from_endpoint is self.a:
+            return self._tx_bytes_a
+        if from_endpoint is self.b:
+            return self._tx_bytes_b
+        raise NetworkError(f"{from_endpoint!r} is not attached to {self.name}")
 
     def utilization(self, window_ns: int, from_endpoint: Optional[Any] = None) -> float:
         """Offered bytes over *window_ns* as a fraction of the line rate.
@@ -107,10 +168,10 @@ class Link:
         """
         if window_ns <= 0:
             raise NetworkError("utilization window must be positive")
-        capacity_bits = self.bandwidth_bps * window_ns / 1e9
+        capacity_bits = self._bandwidth_bps * window_ns / 1e9
         if from_endpoint is not None:
             return self.bytes_from(from_endpoint) * _BITS / capacity_bits
-        busiest = max(self._tx_bytes_from.values())
+        busiest = self._tx_bytes_a if self._tx_bytes_a > self._tx_bytes_b else self._tx_bytes_b
         return busiest * _BITS / capacity_bits
 
     def other_end(self, endpoint: Any) -> Any:
@@ -124,25 +185,60 @@ class Link:
     def send(self, packet: Any, from_endpoint: Any) -> Optional[int]:
         """Transmit *packet* from one endpoint toward the other.
 
-        Returns the delivery time, or ``None`` if the link is down and
-        the packet was dropped.
+        Returns the delivery time, or ``None`` if the link is down (or
+        lossy) and the packet was dropped.  Dropped pooled packets are
+        recycled — nobody downstream will ever see them.
         """
-        destination = self.other_end(from_endpoint)
+        if from_endpoint is self.a:
+            destination = self.b
+            mode = self._mode_b
+            entry = self._entry_b
+            from_a = True
+        elif from_endpoint is self.b:
+            destination = self.a
+            mode = self._mode_a
+            entry = self._entry_a
+            from_a = False
+        else:
+            raise NetworkError(f"{from_endpoint!r} is not attached to {self.name}")
         if self.down:
             self.drop_count += 1
+            release = getattr(packet, "release", None)
+            if release is not None:
+                release()
             return None
         if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
             self.drop_count += 1
+            release = getattr(packet, "release", None)
+            if release is not None:
+                release()
             return None
-        key = id(from_endpoint)
+        size = packet.size
+        ser = self._ser_ns.get(size)
+        if ser is None:
+            ser = int(round(size * _BITS / self._bandwidth_bps * 1e9))
+            self._ser_ns[size] = ser
         now = self.sim.now
-        start = self._free_at[key]
-        if start < now:
-            start = now
-        done_serialising = start + self.serialization_ns(packet.size)
-        self._free_at[key] = done_serialising
+        if from_a:
+            start = self._free_at_a
+            if start < now:
+                start = now
+            done_serialising = start + ser
+            self._free_at_a = done_serialising
+            self._tx_bytes_a += size
+        else:
+            start = self._free_at_b
+            if start < now:
+                start = now
+            done_serialising = start + ser
+            self._free_at_b = done_serialising
+            self._tx_bytes_b += size
         arrival = done_serialising + self.propagation_ns
         self.tx_count += 1
-        self._tx_bytes_from[key] += packet.size
-        self.sim.at(arrival, destination.deliver, packet, self)
+        if mode == 1:
+            self.sim.call_at(done_serialising + (self._sched_off_b if from_a else self._sched_off_a), entry, packet, self)
+        elif mode == 2:
+            entry(packet, arrival)
+        else:
+            self.sim.call_at(arrival, entry, packet, self)
         return arrival

@@ -60,7 +60,7 @@ class Nic:
         if done == now:
             emit(packet)
         else:
-            self.sim.at(done, emit, packet)
+            self.sim.call_at(done, emit, packet)
         return done
 
     def rx(self, packet: Any, handler: Callable[[Any], None]) -> bool:
@@ -76,6 +76,9 @@ class Nic:
             backlog = (start - now) // self.rx_cost_ns
             if backlog >= self.rx_queue_limit:
                 self.rx_dropped += 1
+                release = getattr(packet, "release", None)
+                if release is not None:
+                    release()
                 return False
         done = start + self.rx_cost_ns
         self._rx_free_at = done
@@ -83,7 +86,7 @@ class Nic:
         if done == now:
             handler(packet)
         else:
-            self.sim.at(done, handler, packet)
+            self.sim.call_at(done, handler, packet)
         return True
 
     @property

@@ -10,20 +10,31 @@ the test suite to show the wire format is well defined.
 Switch-internal metadata (ingress port, recirculation flag, multicast
 group) also lives here, mirroring how PISA attaches per-packet metadata
 alongside the parsed header vector.
+
+Packets on the experiment hot path come from a :class:`PacketPool`: a
+free list that recycles the slotted objects (client request → server
+response → client release) instead of allocating one per hop, and —
+just as importantly — owns its own uid counter.  Uids therefore depend
+only on what the owning experiment does, not on whatever else ran
+earlier in the process, so two identical experiments produce identical
+uid streams no matter what preceded them.  Bare ``Packet(...)``
+construction (tests, one-off control traffic) still works and draws
+from a process-wide fallback counter.
 """
 
 from __future__ import annotations
 
 from itertools import count
-from typing import Any, Optional
+from typing import Any, List, Optional
 
-__all__ = ["PROTO_TCP", "PROTO_UDP", "Packet"]
+__all__ = ["PROTO_TCP", "PROTO_UDP", "Packet", "PacketPool"]
 
 #: IANA protocol number for UDP.
 PROTO_UDP = 17
 #: IANA protocol number for TCP.
 PROTO_TCP = 6
 
+#: Fallback uid stream for packets built outside any pool.
 _packet_uid = count(1)
 
 
@@ -55,6 +66,8 @@ class Packet:
         "ingress_port",
         "recirculated",
         "created_at",
+        "pool",
+        "_freed",
     )
 
     def __init__(
@@ -84,26 +97,89 @@ class Packet:
         self.recirculated: bool = False
         #: Simulated time the packet object was created (client send time).
         self.created_at = created_at
+        #: Owning :class:`PacketPool`, or ``None`` for bare packets.
+        self.pool: Optional["PacketPool"] = None
+        self._freed = False
+
+    def reuse(
+        self,
+        uid: int,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        size: int,
+        payload: Any,
+        nc: Optional[Any],
+        proto: int,
+        created_at: int,
+    ) -> "Packet":
+        """Re-initialise this object in place for a new life on the wire."""
+        self.uid = uid
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.proto = proto
+        self.size = size
+        self.payload = payload
+        self.nc = nc
+        self.ingress_port = -1
+        self.recirculated = False
+        self.created_at = created_at
+        self._freed = False
+        return self
+
+    def release(self) -> None:
+        """Return this packet to its pool.  No-op for bare packets.
+
+        Idempotent: a second release of the same life is ignored (the
+        pool would otherwise hand the object out twice).  Payload and
+        header references are dropped so released packets keep nothing
+        alive.
+        """
+        pool = self.pool
+        if pool is None or self._freed:
+            return
+        self._freed = True
+        self.payload = None
+        self.nc = None
+        pool._free.append(self)
+        pool.released += 1
 
     def copy(self) -> "Packet":
         """A field-by-field copy with a fresh uid and clean switch metadata.
 
         The NetClone header is copied too (it is mutable); the payload
         is shared, matching how a hardware clone duplicates bytes but
-        our simulator treats the payload as opaque.
+        our simulator treats the payload as opaque.  Pooled packets
+        clone from their pool, so switch clones recycle too.
         """
-        clone = Packet(
+        nc = self.nc.copy() if self.nc is not None else None
+        pool = self.pool
+        if pool is not None:
+            return pool.acquire(
+                self.src,
+                self.dst,
+                self.sport,
+                self.dport,
+                self.size,
+                payload=self.payload,
+                nc=nc,
+                proto=self.proto,
+                created_at=self.created_at,
+            )
+        return Packet(
             self.src,
             self.dst,
             self.sport,
             self.dport,
             self.size,
             payload=self.payload,
-            nc=self.nc.copy() if self.nc is not None else None,
+            nc=nc,
             proto=self.proto,
             created_at=self.created_at,
         )
-        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         from repro.net.addresses import format_ip
@@ -112,4 +188,84 @@ class Packet:
         return (
             f"<Packet #{self.uid} {kind} {format_ip(self.src)}:{self.sport} -> "
             f"{format_ip(self.dst)}:{self.dport} {self.size}B>"
+        )
+
+
+class PacketPool:
+    """Free-list recycler and uid authority for one experiment.
+
+    Every :meth:`acquire` hands out a fresh uid from the pool's private
+    counter — uids number packet *lives* in creation order, whether the
+    backing object is new or recycled.  That keeps uid streams
+    bit-reproducible per experiment (see module docstring) while the
+    free list keeps steady-state allocation at zero: a request/response
+    pair recycles the same two objects for the whole run.
+    """
+
+    __slots__ = ("_free", "_next_uid", "allocated", "released")
+
+    def __init__(self) -> None:
+        self._free: List[Packet] = []
+        self._next_uid = 1
+        #: Packet objects newly constructed by this pool (not reuses).
+        self.allocated = 0
+        #: Total releases back into the free list.
+        self.released = 0
+
+    def acquire(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        size: int,
+        payload: Any = None,
+        nc: Optional[Any] = None,
+        proto: int = PROTO_UDP,
+        created_at: int = 0,
+    ) -> Packet:
+        """A packet owned by this pool, recycled when possible."""
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        free = self._free
+        if free:
+            # Packet.reuse inlined: acquire runs once per packet life.
+            packet = free.pop()
+            packet.uid = uid
+            packet.src = src
+            packet.dst = dst
+            packet.sport = sport
+            packet.dport = dport
+            packet.proto = proto
+            packet.size = size
+            packet.payload = payload
+            packet.nc = nc
+            packet.ingress_port = -1
+            packet.recirculated = False
+            packet.created_at = created_at
+            packet._freed = False
+            return packet
+        packet = Packet(
+            src, dst, sport, dport, size,
+            payload=payload, nc=nc, proto=proto, created_at=created_at,
+        )
+        packet.uid = uid
+        packet.pool = self
+        self.allocated += 1
+        return packet
+
+    @property
+    def free_count(self) -> int:
+        """Packets currently sitting in the free list."""
+        return len(self._free)
+
+    @property
+    def uid_count(self) -> int:
+        """Total packet lives handed out so far."""
+        return self._next_uid - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PacketPool uids={self.uid_count} allocated={self.allocated} "
+            f"free={self.free_count}>"
         )

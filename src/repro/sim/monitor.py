@@ -8,6 +8,7 @@
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -20,12 +21,15 @@ __all__ = ["Counter", "IntervalMonitor", "TimeSeries"]
 class Counter:
     """A bag of named integer counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
+        # defaultdict keeps the increment a single C-level dict op.
+        self._counts: Dict[str, int] = defaultdict(int)
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add *amount* to counter *name* (creating it at zero)."""
-        self._counts[name] = self._counts.get(name, 0) + amount
+        self._counts[name] += amount
 
     def get(self, name: str) -> int:
         """Current value of *name* (zero if never incremented)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from itertools import count
 from typing import Any, Callable, List, Optional, Tuple
+from zlib import crc32
 
 from repro.errors import PipelineConfigError, StageAccessError
 from repro.switchsim.hashing import HashUnit
@@ -71,12 +72,13 @@ class PassContext:
     ordering and the one-access-per-pass register rule are enforced.
     """
 
-    __slots__ = ("pipeline", "token", "stage")
+    __slots__ = ("pipeline", "token", "stage", "_num_stages")
 
     def __init__(self, pipeline: "Pipeline"):
         self.pipeline = pipeline
         self.token = next(_pass_tokens)
         self.stage = -1
+        self._num_stages = pipeline.num_stages
 
     def enter_stage(self, index: int) -> None:
         """Advance to stage *index*; going backwards is impossible."""
@@ -99,18 +101,147 @@ class PassContext:
         update: Optional[Callable[[int], int]] = None,
     ) -> Tuple[int, int]:
         """Enter the register's stage and perform its single access."""
-        self.enter_stage(register.stage)
-        return register.access(index, stage=self.stage, pass_token=self.token, update=update)
+        # enter_stage and RegisterArray.access inlined — two calls per
+        # register access on the hottest switch-model path.  The
+        # stage-equality check disappears: ``stage`` is read off the
+        # register itself.
+        stage = register.stage
+        if stage < self.stage:
+            raise StageAccessError(
+                f"pipeline is feed-forward: cannot enter stage {stage} "
+                f"after stage {self.stage}"
+            )
+        if stage >= self._num_stages:
+            raise StageAccessError(
+                f"stage {stage} out of range (pipeline has {self.pipeline.num_stages})"
+            )
+        self.stage = stage
+        token = self.token
+        if not 0 <= index < register.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {register.name!r} "
+                f"(size {register.size})"
+            )
+        if token == register._last_pass_token:
+            raise StageAccessError(
+                f"register {register.name!r} accessed twice in one pipeline pass"
+            )
+        register._last_pass_token = token
+        register.access_count += 1
+        old = register.cells[index]
+        new = old
+        if update is not None:
+            new = update(old) & register._mask
+            register.cells[index] = new
+        return old, new
+
+    def reg_set(self, register: RegisterArray, index: int, value: int) -> Tuple[int, int]:
+        """Enter the register's stage and overwrite cell *index*.
+
+        Same stage/one-access-per-pass rules as :meth:`reg`, without a
+        per-call update callable.
+        """
+        stage = register.stage
+        if stage < self.stage:
+            raise StageAccessError(
+                f"pipeline is feed-forward: cannot enter stage {stage} "
+                f"after stage {self.stage}"
+            )
+        if stage >= self._num_stages:
+            raise StageAccessError(
+                f"stage {stage} out of range (pipeline has {self.pipeline.num_stages})"
+            )
+        self.stage = stage
+        token = self.token
+        if not 0 <= index < register.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {register.name!r} "
+                f"(size {register.size})"
+            )
+        if token == register._last_pass_token:
+            raise StageAccessError(
+                f"register {register.name!r} accessed twice in one pipeline pass"
+            )
+        register._last_pass_token = token
+        register.access_count += 1
+        old = register.cells[index]
+        new = value & register._mask
+        register.cells[index] = new
+        return old, new
+
+    def reg_swap(self, register: RegisterArray, index: int, value: int) -> int:
+        """Enter the register's stage and compare-and-swap cell *index*.
+
+        The fingerprint-filter ALU op (clear on match, else insert);
+        see :meth:`RegisterArray.filter_swap`.  Returns the old value.
+        """
+        stage = register.stage
+        if stage < self.stage:
+            raise StageAccessError(
+                f"pipeline is feed-forward: cannot enter stage {stage} "
+                f"after stage {self.stage}"
+            )
+        if stage >= self._num_stages:
+            raise StageAccessError(
+                f"stage {stage} out of range (pipeline has {self.pipeline.num_stages})"
+            )
+        self.stage = stage
+        token = self.token
+        if not 0 <= index < register.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {register.name!r} "
+                f"(size {register.size})"
+            )
+        if token == register._last_pass_token:
+            raise StageAccessError(
+                f"register {register.name!r} accessed twice in one pipeline pass"
+            )
+        register._last_pass_token = token
+        register.access_count += 1
+        cells = register.cells
+        old = cells[index]
+        cells[index] = 0 if old == value else value & register._mask
+        return old
 
     def table(self, table: MatchActionTable, key: int) -> Any:
         """Enter the table's stage and look *key* up."""
-        self.enter_stage(table.stage)
-        return table.lookup(key, stage=self.stage)
+        # enter_stage and MatchActionTable.lookup inlined; the
+        # stage-equality check disappears because ``stage`` is read off
+        # the table itself.
+        stage = table.stage
+        if stage < self.stage:
+            raise StageAccessError(
+                f"pipeline is feed-forward: cannot enter stage {stage} "
+                f"after stage {self.stage}"
+            )
+        if stage >= self._num_stages:
+            raise StageAccessError(
+                f"stage {stage} out of range (pipeline has {self.pipeline.num_stages})"
+            )
+        self.stage = stage
+        table.lookup_count += 1
+        value = table._entries.get(key)
+        if value is None:
+            table.miss_count += 1
+        return value
 
     def hash(self, unit: HashUnit, value: int) -> int:
         """Enter the hash unit's stage and hash *value*."""
-        self.enter_stage(unit.stage)
-        return unit.index(value)
+        stage = unit.stage
+        if stage < self.stage:
+            raise StageAccessError(
+                f"pipeline is feed-forward: cannot enter stage {stage} "
+                f"after stage {self.stage}"
+            )
+        if stage >= self._num_stages:
+            raise StageAccessError(
+                f"stage {stage} out of range (pipeline has {self.pipeline.num_stages})"
+            )
+        self.stage = stage
+        unit.invocations += 1
+        return crc32(
+            (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        ) % unit.buckets
 
 
 class Pipeline:

@@ -77,13 +77,98 @@ class RegisterArray:
         with ``update(old)`` in the same operation (read-modify-write).
         Returns ``(old_value, new_value)``.
         """
-        self._check(index, stage, pass_token)
+        # Checks inlined from _check: this runs once per register per
+        # pipeline pass, the hottest switch-model path.
+        if not 0 <= index < self.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {self.name!r} (size {self.size})"
+            )
+        if stage != self.stage:
+            raise StageAccessError(
+                f"register {self.name!r} is allocated to stage {self.stage}, "
+                f"accessed from stage {stage}"
+            )
+        if pass_token is not None and pass_token == self._last_pass_token:
+            raise StageAccessError(
+                f"register {self.name!r} accessed twice in one pipeline pass"
+            )
+        self._last_pass_token = pass_token
+        self.access_count += 1
         old = self.cells[index]
         new = old
         if update is not None:
             new = update(old) & self._mask
             self.cells[index] = new
         return old, new
+
+    def write(
+        self,
+        index: int,
+        stage: int,
+        pass_token: Optional[int],
+        value: int,
+    ) -> Tuple[int, int]:
+        """Unconditional overwrite as the single stateful op of a pass.
+
+        Equivalent to ``access(..., update=lambda _old: value)`` without
+        allocating or calling the update callable — the response path
+        writes two state registers per packet, which makes that cost
+        measurable.  Returns ``(old_value, new_value)``.
+        """
+        if not 0 <= index < self.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {self.name!r} (size {self.size})"
+            )
+        if stage != self.stage:
+            raise StageAccessError(
+                f"register {self.name!r} is allocated to stage {self.stage}, "
+                f"accessed from stage {stage}"
+            )
+        if pass_token is not None and pass_token == self._last_pass_token:
+            raise StageAccessError(
+                f"register {self.name!r} accessed twice in one pipeline pass"
+            )
+        self._last_pass_token = pass_token
+        self.access_count += 1
+        old = self.cells[index]
+        new = value & self._mask
+        self.cells[index] = new
+        return old, new
+
+    def filter_swap(
+        self,
+        index: int,
+        stage: int,
+        pass_token: Optional[int],
+        value: int,
+    ) -> int:
+        """The fingerprint-filter ALU op: clear on match, else insert.
+
+        A single stateful compare-and-swap — ``cell = 0`` if the cell
+        already holds *value* (the mate response passed first), else
+        ``cell = value``.  Returns the old cell value.  Equivalent to
+        ``access(..., update=lambda old: 0 if old == value else value)``
+        without allocating a closure per response packet.
+        """
+        if not 0 <= index < self.size:
+            raise StageAccessError(
+                f"index {index} out of range for register {self.name!r} (size {self.size})"
+            )
+        if stage != self.stage:
+            raise StageAccessError(
+                f"register {self.name!r} is allocated to stage {self.stage}, "
+                f"accessed from stage {stage}"
+            )
+        if pass_token is not None and pass_token == self._last_pass_token:
+            raise StageAccessError(
+                f"register {self.name!r} accessed twice in one pipeline pass"
+            )
+        self._last_pass_token = pass_token
+        self.access_count += 1
+        cells = self.cells
+        old = cells[index]
+        cells[index] = 0 if old == value else value & self._mask
+        return old
 
     # -- control-plane access (no pass/stage constraints) ---------------
     def peek(self, index: int) -> int:

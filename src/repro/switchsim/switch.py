@@ -23,6 +23,7 @@ alone, which the Figure 16 experiment demonstrates.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Dict, Optional
 
 from repro.errors import PortError, SwitchError
@@ -45,8 +46,14 @@ class SwitchProgram:
         """Whether *packet* should be processed by this program."""
         raise NotImplementedError
 
-    def apply(self, packet: Packet, ctx: PassContext, switch: "ProgrammableSwitch") -> PipelineAction:
-        """Process one pipeline pass of *packet*."""
+    def apply(self, packet: Packet, ctx: PassContext, switch: "ProgrammableSwitch") -> Optional[PipelineAction]:
+        """Process one pipeline pass of *packet*.
+
+        May return ``None`` as the plain-forward fast path: the switch
+        routes the (possibly rewritten) packet with no drop, no copies
+        and no explicit egress port — without materialising a
+        :class:`PipelineAction` for the common case.
+        """
         raise NotImplementedError
 
     def on_register_wipe(self) -> None:
@@ -72,12 +79,28 @@ class ProgrammableSwitch:
         self.recirc_latency_ns = recirc_latency_ns
         self.num_ports = num_ports
         self.ports: Dict[int, Link] = {}
+        #: Reverse map of ``ports`` keyed by link identity — the
+        #: per-packet ingress-port lookup must not scan.
+        self._port_by_link: Dict[int, int] = {}
         #: Destination ip → egress port, or → a per-packet selector
         #: callable (see :meth:`install_dynamic_route`).
         self.routes: Dict[int, Any] = {}
+        #: Destination ip → ``(link, sends_as_a)``, for static routes
+        #: only — the egress fast path resolves one dict get instead of
+        #: route + port maps, and knows its link direction up front.
+        self._link_for_ip: Dict[int, Any] = {}
         self.program: Optional[SwitchProgram] = None
         self.counters = Counter()
+        # Per-packet counter sites bump the underlying dict directly;
+        # ``Counter.reset`` clears in place, so the alias stays valid.
+        self._counts = self.counters._counts
         self.down = False
+        #: Opt-in express forwarding: set by fabrics whose failure-free
+        #: drills allow the upstream switch to precompute this switch's
+        #: pass at booking time (see :meth:`_egress`'s express block).
+        #: Never set on switches that can fail mid-run — express books
+        #: packets past the switch before a power-off could catch them.
+        self._express_ok = False
         # Failure generation: a recovery scheduled before a later
         # fail() must not power the switch back on (flap drills).
         self._power_epoch = 0
@@ -92,12 +115,20 @@ class ProgrammableSwitch:
         if port in self.ports:
             raise PortError(f"port {port} already connected")
         self.ports[port] = link
+        self._port_by_link[id(link)] = port
+        # The fused ingress path reads the port straight off the link.
+        if link.a is self:
+            link._port_a = port
+        else:
+            link._port_b = port
 
     def install_route(self, ip: int, port: int) -> None:
         """Map destination *ip* to egress *port* (L3 route)."""
         if port not in self.ports:
             raise PortError(f"cannot route to unconnected port {port}")
         self.routes[ip] = port
+        link = self.ports[port]
+        self._link_for_ip[ip] = (link, link.a is self)
 
     def install_dynamic_route(self, ip: int, selector: Any) -> None:
         """Map destination *ip* to a per-packet port chooser.
@@ -112,10 +143,12 @@ class ProgrammableSwitch:
         if not callable(selector):
             raise SwitchError("dynamic route selector must be callable")
         self.routes[ip] = selector
+        self._link_for_ip.pop(ip, None)
 
     def remove_route(self, ip: int) -> None:
         """Remove the route for *ip* (e.g. failed server)."""
         self.routes.pop(ip, None)
+        self._link_for_ip.pop(ip, None)
 
     def install_program(self, program: SwitchProgram) -> None:
         """Load *program* into the data plane."""
@@ -130,44 +163,90 @@ class ProgrammableSwitch:
         """Entry point for packets arriving from a link."""
         if self.down:
             self.counters.incr("rx_dropped_down")
+            packet.release()
             return
-        port = self._port_of_link(link)
+        port = self._port_by_link.get(id(link))
+        if port is None:
+            raise PortError(f"{self.name}: packet arrived on unknown link {link.name}")
         packet.ingress_port = port
         packet.recirculated = False
-        self.counters.incr("rx")
-        self.sim.schedule(self.pipeline_latency_ns, self._run_pass, packet)
+        self._counts["rx"] += 1
+        self.sim.call_after(self.pipeline_latency_ns, self._run_pass, packet)
+
+    def link_ingress(self, packet: Packet, link: Link) -> None:
+        """Fused arrival + pipeline pass, one event per switch hop.
+
+        :class:`~repro.net.link.Link` schedules this directly at
+        ``arrival + pipeline_latency_ns``, so the per-hop deliver event
+        (whose only job was to schedule the pass) disappears.  Ingress
+        bookkeeping and the down check consequently happen at pass
+        time: a packet in flight into the pipeline when the switch
+        powers off counts as ``rx_dropped_down`` rather than
+        ``rx`` + ``dropped_down`` — either way it died with the power,
+        and ``rx == tx + dropped_down + no_route`` still holds.
+        """
+        if self.down:
+            self._counts["rx_dropped_down"] += 1
+            packet.release()
+            return
+        port = link._port_a if link.a is self else link._port_b
+        if port is None:
+            raise PortError(f"{self.name}: packet arrived on unknown link {link.name}")
+        packet.ingress_port = port
+        packet.recirculated = False
+        self._counts["rx"] += 1
+        program = self.program
+        if program is not None and program.matches(packet):
+            ctx = program.pipeline.new_pass()
+            action = program.apply(packet, ctx, self)
+            # ``None`` is the program's plain-forward fast path: route
+            # the (possibly rewritten) packet, no copies, no drop.
+            if action is None:
+                self._egress(packet, None)
+            else:
+                self._apply_action(packet, action)
+        else:
+            self._egress(packet, None)
 
     def _port_of_link(self, link: Link) -> int:
-        for port, candidate in self.ports.items():
-            if candidate is link:
-                return port
-        raise PortError(f"{self.name}: packet arrived on unknown link {link.name}")
+        port = self._port_by_link.get(id(link))
+        if port is None:
+            raise PortError(f"{self.name}: packet arrived on unknown link {link.name}")
+        return port
 
     def _run_pass(self, packet: Packet) -> None:
         if self.down:
             self.counters.incr("dropped_down")
+            packet.release()
             return
         program = self.program
         if program is not None and program.matches(packet):
             ctx = program.pipeline.new_pass()
             action = program.apply(packet, ctx, self)
+            if action is None:
+                self._egress(packet, None)
+            else:
+                self._apply_action(packet, action)
         else:
-            action = PipelineAction()
-        self._apply_action(packet, action)
+            # Unclaimed packets are routed without materialising an
+            # empty PipelineAction.
+            self._egress(packet, None)
 
     def _apply_action(self, packet: Packet, action: PipelineAction) -> None:
+        counts = self._counts
         for copy, port in action.mirrors:
-            self.counters.incr("mirrored")
+            counts["mirrored"] += 1
             self._egress(copy, port)
         for copy in action.recirculate:
-            self.counters.incr("recirculated")
-            self.sim.schedule(
+            counts["recirculated"] += 1
+            self.sim.call_after(
                 self.recirc_latency_ns + self.pipeline_latency_ns,
                 self._run_recirculated,
                 copy,
             )
         if action.drop:
-            self.counters.incr("dropped_by_program")
+            counts["dropped_by_program"] += 1
+            packet.release()
             return
         self._egress(packet, action.egress_port)
 
@@ -175,24 +254,141 @@ class ProgrammableSwitch:
         """A recirculated copy re-enters the pipeline as a fresh pass."""
         if self.down:
             self.counters.incr("dropped_down")
+            packet.release()
             return
         packet.recirculated = True
         self._run_pass(packet)
 
     def _egress(self, packet: Packet, port: Optional[int]) -> None:
         if port is None:
-            port = self.routes.get(packet.dst)
-            if port is not None and not isinstance(port, int):
-                port = port(packet)
-        if port is None:
-            self.counters.incr("no_route")
+            # Fast path: statically routed destination, link and
+            # direction known from one dict get.
+            info = self._link_for_ip.get(packet.dst)
+            if info is None:
+                route = self.routes.get(packet.dst)
+                if route is not None and not isinstance(route, int):
+                    route = route(packet)
+                if route is None:
+                    self._counts["no_route"] += 1
+                    packet.release()
+                    return
+                link = self.ports.get(route)
+                if link is None:
+                    self._counts["no_route"] += 1
+                    packet.release()
+                    return
+                from_a = link.a is self
+            else:
+                link, from_a = info
+        else:
+            link = self.ports.get(port)
+            if link is None:
+                self._counts["no_route"] += 1
+                packet.release()
+                return
+            from_a = link.a is self
+        self._counts["tx"] += 1
+        if link.down or link.loss_probability > 0.0:
+            link.send(packet, self)
             return
-        link = self.ports.get(port)
-        if link is None:
-            self.counters.incr("no_route")
+        # Link.send inlined (clean-link case): one egress per switched
+        # packet makes the extra frame measurable.
+        size = packet.size
+        ser = link._ser_ns.get(size)
+        if ser is None:
+            ser = link.serialization_ns(size)
+        sim = self.sim
+        now = sim.now
+        if from_a:
+            start = link._free_at_a
+            if start < now:
+                start = now
+            done_serialising = start + ser
+            link._free_at_a = done_serialising
+            link._tx_bytes_a += size
+            mode = link._mode_b
+            entry = link._entry_b
+            when = done_serialising + link._sched_off_b
+        else:
+            start = link._free_at_b
+            if start < now:
+                start = now
+            done_serialising = start + ser
+            link._free_at_b = done_serialising
+            link._tx_bytes_b += size
+            mode = link._mode_a
+            entry = link._entry_a
+            when = done_serialising + link._sched_off_a
+        link.tx_count += 1
+        if mode == 2:
+            entry(packet, when)
             return
-        self.counters.incr("tx")
-        link.send(packet, self)
+        if mode == 1:
+            dest = link.b if from_a else link.a
+            # Express trunk hop: an ``_express_ok`` switch (a plain
+            # two-port spine in a fabric that declared itself static)
+            # forwards deterministically, and each of its egress
+            # directions has a single upstream trunk whose
+            # serialisation order equals this booking order — so its
+            # pass (at ``when``) can be computed here, one event per
+            # trunk hop saved.  Falls back to the evented pass when the
+            # route is dynamic or missing, the next link can drop, or
+            # the packet would hairpin (a hairpin direction has two
+            # upstreams, breaking the monotone-booking argument).
+            if dest._express_ok:
+                info = dest._link_for_ip.get(packet.dst)
+                if info is not None:
+                    link2, from_a2 = info
+                    if (
+                        link2 is not link
+                        and not link2.down
+                        and link2.loss_probability == 0.0
+                    ):
+                        packet.ingress_port = link._port_b if from_a else link._port_a
+                        packet.recirculated = False
+                        dcounts = dest._counts
+                        dcounts["rx"] += 1
+                        dcounts["tx"] += 1
+                        ser2 = link2._ser_ns.get(size)
+                        if ser2 is None:
+                            ser2 = link2.serialization_ns(size)
+                        if from_a2:
+                            start2 = link2._free_at_a
+                            if start2 < when:
+                                start2 = when
+                            done2 = start2 + ser2
+                            link2._free_at_a = done2
+                            link2._tx_bytes_a += size
+                            mode2 = link2._mode_b
+                            entry2 = link2._entry_b
+                            when2 = done2 + link2._sched_off_b
+                        else:
+                            start2 = link2._free_at_b
+                            if start2 < when:
+                                start2 = when
+                            done2 = start2 + ser2
+                            link2._free_at_b = done2
+                            link2._tx_bytes_b += size
+                            mode2 = link2._mode_a
+                            entry2 = link2._entry_a
+                            when2 = done2 + link2._sched_off_a
+                        link2.tx_count += 1
+                        if mode2 == 2:
+                            entry2(packet, when2)
+                            return
+                        when = when2
+                        entry = entry2
+                        link = link2
+        # Simulator.call_at push inlined (keep in sync with sim/core.py):
+        # ``when`` can never precede ``now`` and the unique increasing
+        # seq makes the time-only tail compare equivalent.
+        seq = sim._seq + 1
+        sim._seq = seq
+        tail = sim._tail
+        if not tail or when >= tail[-1][0]:
+            tail.append((when, seq, entry, (packet, link)))
+        else:
+            heappush(sim._heap, (when, seq, entry, (packet, link)))
 
     # ------------------------------------------------------------------
     # Failure handling (§5.6.4)
@@ -201,6 +397,9 @@ class ProgrammableSwitch:
         """Power the switch off: all traffic is dropped."""
         self.down = True
         self._power_epoch += 1
+        # Defence in depth: a failed switch must never be expressed
+        # past again — the drop window is the point of the drill.
+        self._express_ok = False
         self.counters.incr("failures")
 
     def recover(self, reinit_delay_ns: int = 0) -> None:

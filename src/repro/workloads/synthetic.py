@@ -52,6 +52,19 @@ class SyntheticWorkload:
             service_ns=self.distribution.sample(self.rng),
         )
 
+    def make_request_chunk(self, client_id: int, start_seq: int, n: int) -> list:
+        """*n* consecutive request payloads, seqs ``start_seq..+n-1``.
+
+        Service times come from one chunked draw on the same RNG
+        stream, so the payloads are bit-identical to *n*
+        :meth:`make_request` calls.
+        """
+        samples = self.distribution.sample_chunk(self.rng, n)
+        return [
+            RpcRequest(client_id=client_id, client_seq=start_seq + i, service_ns=samples[i])
+            for i in range(n)
+        ]
+
     def request_size(self, request: RpcRequest) -> int:
         """Wire size of the request carrying *request*."""
         return self.REQUEST_SIZE

@@ -21,6 +21,7 @@ from repro.errors import PipelineConfigError
 from repro.net.packet import Packet
 from repro.sim import Simulator
 from repro.switchsim import ProgrammableSwitch
+from repro.switchsim.pipeline import PipelineAction
 
 SERVER_IPS = [1001, 1002, 1003]
 
@@ -58,7 +59,10 @@ def response(req_id, sid, state=STATE_IDLE, clo=CLO_CLONED_ORIGINAL, idx=0):
 
 def apply(program, switch, packet, recirculated=False):
     packet.recirculated = recirculated
-    return program.apply(packet, program.pipeline.new_pass(), switch)
+    action = program.apply(packet, program.pipeline.new_pass(), switch)
+    # ``None`` is the program's plain-forward fast path — equivalent to
+    # an empty action, normalised here so assertions stay uniform.
+    return action if action is not None else PipelineAction()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Measure, record and police the repo's performance baselines.
+
+Two baselines are kept checked in at the repo root:
+
+* ``BENCH_core.json`` — raw engine throughput: schedule/run cycles of
+  bare fast-lane events (``Simulator.call_at``), in events/sec.
+* ``BENCH_fig18.json`` — end-to-end harness throughput: the fig18
+  trunk-saturation grid at benchmark scale with ``coarse_tail=True``,
+  in measured points/sec.
+
+Modes::
+
+    python tools/bench_baseline.py --update   # re-measure, rewrite both files
+    python tools/bench_baseline.py            # re-measure, compare, exit 1 on
+                                              # a >30% throughput regression
+
+``REPRO_BENCH_SCALE`` (default 0.25) sets the measurement scale — the
+baselines are recorded at 0.25 and compare mode refuses to compare
+across scales.  ``REPRO_BENCH_ROUNDS`` (default 3) sets how many times
+each measurement repeats; the p50 wall time is what's recorded, which
+keeps one background-load spike from failing a run.
+
+Throughput is hardware-bound: after moving to a different CI runner
+class or workstation, refresh the files with ``--update`` in the same
+change that starts exercising them there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sim.core import Simulator  # noqa: E402  (path bootstrap above)
+
+#: Relative throughput drop that fails compare mode.
+TOLERANCE = 0.30
+
+#: Fast-lane events per schedule/run cycle at scale 1.0.
+CORE_EVENTS = 4_000_000
+
+
+def _measure_core(scale: float, rounds: int) -> dict:
+    n = max(1, int(CORE_EVENTS * scale))
+    walls = []
+    for _ in range(rounds):
+        sim = Simulator()
+        call_at = sim.call_at
+        noop = int
+        start = time.perf_counter()
+        for t in range(n):
+            call_at(t, noop)
+        executed = sim.run()
+        walls.append(time.perf_counter() - start)
+        assert executed == n
+    wall = statistics.median(walls)
+    return {
+        "bench": "core",
+        "scale": scale,
+        "events": n,
+        "rounds": rounds,
+        "wall_s_p50": round(wall, 4),
+        "events_per_sec": round(n / wall, 1),
+    }
+
+
+def _measure_fig18(scale: float, seed: int, rounds: int) -> dict:
+    from repro.experiments import fig18_trunk_saturation
+
+    walls = []
+    points = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        results = fig18_trunk_saturation.collect(
+            scale=scale, seed=seed, coarse_tail=True
+        )
+        walls.append(time.perf_counter() - start)
+        points = sum(len(cells) for cells in results.values())
+    wall = statistics.median(walls)
+    return {
+        "bench": "fig18",
+        "scale": scale,
+        "seed": seed,
+        "coarse_tail": True,
+        "points": points,
+        "rounds": rounds,
+        "wall_s_p50": round(wall, 2),
+        "points_per_sec": round(points / wall, 4),
+    }
+
+
+BASELINES = (
+    ("BENCH_core.json", "events_per_sec", _measure_core),
+    ("BENCH_fig18.json", "points_per_sec", _measure_fig18),
+)
+
+
+def _compare(baseline: dict, measured: dict, rate_key: str) -> str | None:
+    """Error string if *measured* regresses past tolerance, else None."""
+    if baseline.get("scale") != measured["scale"]:
+        return (
+            f"scale mismatch: baseline recorded at {baseline.get('scale')}, "
+            f"measured at {measured['scale']} (set REPRO_BENCH_SCALE to match)"
+        )
+    old = float(baseline[rate_key])
+    new = float(measured[rate_key])
+    floor = old * (1.0 - TOLERANCE)
+    if new < floor:
+        return (
+            f"{rate_key} regressed {1.0 - new / old:.1%}: "
+            f"{new:,.1f} vs baseline {old:,.1f} "
+            f"(floor {floor:,.1f} at {TOLERANCE:.0%} tolerance)"
+        )
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the checked-in baselines instead of comparing",
+    )
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.25")),
+    )
+    parser.add_argument(
+        "--seed", type=int,
+        default=int(os.environ.get("REPRO_BENCH_SEED", "1")),
+    )
+    parser.add_argument(
+        "--rounds", type=int,
+        default=int(os.environ.get("REPRO_BENCH_ROUNDS", "3")),
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="also write the freshly measured JSONs into DIR "
+             "(CI uploads these as the run's artifact)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+    for filename, rate_key, measure in BASELINES:
+        path = REPO / filename
+        if measure is _measure_core:
+            measured = measure(args.scale, args.rounds)
+        else:
+            measured = measure(args.scale, args.seed, args.rounds)
+        print(
+            f"{filename}: {rate_key}={measured[rate_key]:,} "
+            f"(p50 wall {measured['wall_s_p50']}s over {args.rounds} rounds)"
+        )
+        if args.out is not None:
+            (args.out / filename).write_text(json.dumps(measured, indent=2) + "\n")
+        if args.update:
+            path.write_text(json.dumps(measured, indent=2) + "\n")
+            print(f"  wrote {path.relative_to(REPO)}")
+            continue
+        if not path.exists():
+            failures.append(f"{filename}: no checked-in baseline (run --update)")
+            continue
+        baseline = json.loads(path.read_text())
+        error = _compare(baseline, measured, rate_key)
+        if error:
+            failures.append(f"{filename}: {error}")
+        else:
+            old = float(baseline[rate_key])
+            print(f"  ok vs baseline {old:,.1f} ({measured[rate_key] / old:.2f}x)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
