@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test smoke bench bench-compare bench-update drill
+.PHONY: test smoke bench bench-compare bench-update drill profile
 
 test:  ## full tier-1 suite (what the roadmap's verify line runs)
 	$(PY) -m pytest -x -q
@@ -17,8 +17,11 @@ drill:  ## failure drills end to end (ToR cycle, spine flap, server fail/restore
 bench:  ## pytest-benchmark harnesses at reduced scale (REPRO_BENCH_SCALE=0.25)
 	$(PY) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="bench_*"
 
-bench-compare:  ## re-measure BENCH_*.json workloads; fail on a >30% regression
+bench-compare:  ## re-measure BENCH_*.json workloads; fail on a >30% regression; print delta vs BENCH_history.jsonl
 	$(PY) tools/bench_baseline.py
 
-bench-update:  ## rewrite the checked-in BENCH_*.json baselines
+bench-update:  ## rewrite the checked-in BENCH_*.json baselines (+ append to BENCH_history.jsonl)
 	$(PY) tools/bench_baseline.py --update
+
+profile:  ## cProfile the bench workloads; top-20 cumulative per target
+	$(PY) tools/profile_hotpath.py

@@ -45,13 +45,15 @@ from repro.core.constants import (
 # control-plane reinstall path) would otherwise shadow this module-level
 # seed-table builder inside the class body.
 from repro.core.groups import install_group_table as install_global_pairs
-from repro.errors import PipelineConfigError
+from repro.errors import PipelineConfigError, StageAccessError
 from repro.net.packet import Packet
 from repro.switchsim.hashing import HashUnit
 from repro.switchsim.pipeline import PassContext, Pipeline, PipelineAction
-from repro.switchsim.registers import RegisterArray
+from repro.switchsim.registers import RegisterArray, RegisterFile
 from repro.switchsim.switch import ProgrammableSwitch, SwitchProgram
 from repro.switchsim.tables import MatchActionTable
+
+from zlib import crc32
 
 __all__ = ["NetCloneProgram"]
 
@@ -111,17 +113,30 @@ class NetCloneProgram(SwitchProgram):
         self.num_servers = len(server_ips)
 
         place = self.pipeline
+        # All of this program's register state lives in one shared flat
+        # backing store; each array addresses its slice via a base
+        # offset (see RegisterFile).
+        self._register_file = RegisterFile()
         self.seq = place.place_register(
-            RegisterArray("SEQ", size=1, stage=self.STAGE_GRP, width_bits=32)
+            RegisterArray(
+                "SEQ", size=1, stage=self.STAGE_GRP, width_bits=32,
+                file=self._register_file,
+            )
         )
         self.grp_table = place.place_table(
             MatchActionTable("GrpT", stage=self.STAGE_GRP, max_entries=max_servers * max_servers)
         )
         self.state_table = place.place_register(
-            RegisterArray("StateT", size=max_servers, stage=self.STAGE_STATE, width_bits=8)
+            RegisterArray(
+                "StateT", size=max_servers, stage=self.STAGE_STATE, width_bits=8,
+                file=self._register_file,
+            )
         )
         self.shadow_table = place.place_register(
-            RegisterArray("ShadowT", size=max_servers, stage=self.STAGE_SHADOW, width_bits=8)
+            RegisterArray(
+                "ShadowT", size=max_servers, stage=self.STAGE_SHADOW, width_bits=8,
+                file=self._register_file,
+            )
         )
         self.addr_table = place.place_table(
             MatchActionTable("AddrT", stage=self.STAGE_ADDR, max_entries=max_servers)
@@ -136,10 +151,12 @@ class NetCloneProgram(SwitchProgram):
                     size=filter_slots,
                     stage=self.STAGE_FILTER_BASE + i,
                     width_bits=32,
+                    file=self._register_file,
                 )
             )
             for i in range(num_filter_tables)
         ]
+        self._register_file.freeze()
 
         #: Control-plane generation of the installed group table; §3.6
         #: rebuilds bump it in lockstep with the tables pushed to the
@@ -156,6 +173,198 @@ class NetCloneProgram(SwitchProgram):
             self.num_groups = len(group_pairs)
         for server_id, ip in enumerate(server_ips):
             self.addr_table.install(server_id, ip)
+
+        #: Index-based fast lane over the register file, or ``None``
+        #: when this program shape cannot be statically verified (e.g.
+        #: a subclass overriding a pass method).
+        self.fast_apply = self._build_fast_apply()
+
+    # ------------------------------------------------------------------
+    def _build_fast_apply(self):
+        """Compile the fixed pass shapes into an index-based fast lane.
+
+        The three NetClone pass shapes (request, recirculated clone,
+        response) touch a fixed sequence of pipeline objects.
+        :meth:`Pipeline.compile_plan` proves once, at install time,
+        everything :class:`PassContext` would re-check per packet —
+        feed-forward stage order, placement, one register access per
+        pass — which licenses a per-packet path that skips the context
+        object entirely and addresses register state through flat
+        ``base + index`` offsets into the shared register file.
+
+        Returns ``None`` (→ the dynamic checked path stays in charge)
+        for subclasses that override any pass logic, or if a plan
+        fails to verify.
+        """
+        cls = type(self)
+        for name in (
+            "apply",
+            "_apply_request",
+            "_apply_cloned_request",
+            "_apply_response",
+            "matches",
+        ):
+            if getattr(cls, name) is not getattr(NetCloneProgram, name):
+                return None
+        file = self._register_file
+        if file.data is None:
+            return None
+        pipeline = self.pipeline
+        try:
+            self.plan_request = pipeline.compile_plan(
+                (self.seq, self.grp_table, self.state_table,
+                 self.shadow_table, self.addr_table)
+            )
+            self.plan_cloned_request = pipeline.compile_plan((self.addr_table,))
+            # The response plan is the access-order skeleton: each pass
+            # touches exactly one of the filter tables, all of which sit
+            # in stages after the hash unit.
+            self.plan_response = pipeline.compile_plan(
+                (self.state_table, self.shadow_table, self.hash_unit,
+                 *self.filters)
+            )
+        except PipelineConfigError:
+            return None
+
+        program = self
+        cells = file.data
+        seq_reg = self.seq
+        seq_i = seq_reg.base
+        grp_table = self.grp_table
+        grp_get = grp_table._entries.get
+        state_reg = self.state_table
+        shadow_reg = self.shadow_table
+        state_base = state_reg.base
+        shadow_base = shadow_reg.base
+        state_size = state_reg.size
+        state_mask = state_reg._mask
+        addr_table = self.addr_table
+        addr_get = addr_table._entries.get
+        hash_unit = self.hash_unit
+        buckets = hash_unit.buckets
+        filters = tuple(self.filters)
+        filter_bases = tuple(f.base for f in filters)
+        filter_mask = filters[0]._mask
+        num_filters = len(filters)
+
+        def fast_apply(packet, switch):
+            nc = packet.nc
+            msg_type = nc.msg_type
+            if msg_type == MSG_REQ:
+                if packet.recirculated:
+                    # Recirculated clone (lines 11-13).
+                    nc.clo = CLO_CLONED_COPY
+                    addr_table.lookup_count += 1
+                    address = addr_get(nc.sid)
+                    if address is None:
+                        addr_table.miss_count += 1
+                        switch.counters.incr("nc_unknown_server")
+                        action = PipelineAction()
+                        action.drop = True
+                        return action
+                    packet.dst = address
+                    return None
+                # Fresh request (lines 1-10).
+                if nc.swid == SWID_UNSET:
+                    nc.swid = program.switch_id
+                seq_reg.access_count += 1
+                old = cells[seq_i]
+                seq = 1 if old >= _SEQ_MAX else old + 1
+                cells[seq_i] = seq
+                nc.req_id = seq
+                grp_table.lookup_count += 1
+                pair = grp_get(nc.grp)
+                if pair is None:
+                    grp_table.miss_count += 1
+                    switch.counters.incr("nc_unknown_group")
+                    action = PipelineAction()
+                    action.drop = True
+                    return action
+                srv1, srv2 = pair
+                if not 0 <= srv1 < state_size:
+                    raise StageAccessError(
+                        f"index {srv1} out of range for register "
+                        f"{state_reg.name!r} (size {state_size})"
+                    )
+                if not 0 <= srv2 < state_size:
+                    raise StageAccessError(
+                        f"index {srv2} out of range for register "
+                        f"{shadow_reg.name!r} (size {state_size})"
+                    )
+                state_reg.access_count += 1
+                state1 = cells[state_base + srv1]
+                shadow_reg.access_count += 1
+                state2 = cells[shadow_base + srv2]
+                destination = srv1
+                if (
+                    program.cloning_enabled
+                    and nc.clo != CLO_NEVER_CLONE
+                    and state1 == STATE_IDLE
+                    and state2 == STATE_IDLE
+                ):
+                    nc.clo = CLO_CLONED_ORIGINAL
+                    nc.sid = srv2
+                    action = PipelineAction()
+                    action.recirculate.append(packet.copy())
+                    switch._counts["nc_cloned"] += 1
+                else:
+                    action = None
+                    if nc.clo == CLO_NEVER_CLONE:
+                        nc.clo = CLO_NOT_CLONED
+                    if program._jsq and state2 < state1:
+                        destination = srv2
+                        switch._counts["nc_jsq_second_choice"] += 1
+                addr_table.lookup_count += 1
+                address = addr_get(destination)
+                if address is None:
+                    addr_table.miss_count += 1
+                    switch.counters.incr("nc_unknown_server")
+                    if action is None:
+                        action = PipelineAction()
+                    action.drop = True
+                    return action
+                packet.dst = address
+                return action
+            if msg_type == MSG_RESP:
+                # Response (lines 14-26).
+                sid = nc.sid
+                if not 0 <= sid < state_size:
+                    raise StageAccessError(
+                        f"index {sid} out of range for register "
+                        f"{state_reg.name!r} (size {state_size})"
+                    )
+                value = nc.state & state_mask
+                state_reg.access_count += 1
+                cells[state_base + sid] = value
+                shadow_reg.access_count += 1
+                cells[shadow_base + sid] = value
+                if nc.clo == CLO_NOT_CLONED or not program.filtering_enabled:
+                    return None
+                req_id = nc.req_id
+                hash_unit.invocations += 1
+                slot = crc32(
+                    (req_id & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+                ) % buckets
+                which = nc.idx % num_filters
+                filter_reg = filters[which]
+                filter_reg.access_count += 1
+                flat = filter_bases[which] + slot
+                old = cells[flat]
+                if old == req_id:
+                    cells[flat] = 0
+                    switch._counts["nc_filtered"] += 1
+                    action = PipelineAction()
+                    action.drop = True
+                    return action
+                cells[flat] = req_id & filter_mask
+                if old != 0:
+                    switch._counts["nc_fingerprint_overwrite"] += 1
+                switch._counts["nc_fingerprint_insert"] += 1
+                return None
+            # Unknown message type: fall back to plain forwarding.
+            return None
+
+        return fast_apply
 
     # ------------------------------------------------------------------
     def install_group_table(self, table) -> None:

@@ -47,15 +47,6 @@ POLICIES = ("ecmp", "least-loaded", "flowlet")
 #: the ECMP-pinned response trunk runs past 100% at the low end.
 TRUNK_GBPS = (0.5, 0.7, 1.0, 2.0)
 
-#: Where the sweep's flat tail starts: at the default load the
-#: saturation knee sits between 0.7 and 1.0 Gb/s, so cells at or above
-#: this line rate have ample headroom and load-insensitive latency.
-#: ``coarse_tail`` halves their measurement windows (floored by
-#: :func:`~repro.experiments.harness.scaled_config`) — a fluid-limit
-#: argument: far from saturation the queues mix fast and the
-#: percentile estimates converge in a fraction of the window.
-COARSE_TAIL_MIN_GBPS = 1.0
-
 NUM_SERVERS = 6
 WORKERS = 15
 NUM_CLIENTS = 2
@@ -82,7 +73,7 @@ def collect(
     jobs: int = 1,
     topology: Optional[str] = None,
     placement: Optional[str] = None,
-    coarse_tail: bool = False,
+    fluid: Optional[float] = None,
 ) -> Dict[Tuple[str, str], List[Cell]]:
     """(scheme, policy) → cells over the trunk-bandwidth grid.
 
@@ -93,13 +84,17 @@ def collect(
     The whole grid is one executor batch, so ``jobs > 1`` keeps every
     worker busy across all three axes.
 
-    ``coarse_tail=True`` halves the measurement windows of the cells at
-    or above :data:`COARSE_TAIL_MIN_GBPS` — the flat, headroom end of
-    the sweep, whose statistics converge long before the full window.
-    It is an explicit approximation (percentiles in those cells are
-    estimated from about half the samples) and stays off by default;
-    the checked-in benchmark baselines use it, full reproductions
-    should not.
+    *fluid* opts cells into the analytic fast path of
+    :mod:`repro.sim.fluid` (replacing the retired ``coarse_tail``
+    window-halving): a cell whose predicted hot-trunk utilisation is at
+    least *fluid* — and whose configuration the model covers — is
+    evaluated deterministically instead of packet-by-packet.  ``0.0``
+    sends every eligible cell fluid (the benchmark setting); ``1.0``
+    keeps only genuinely saturated cells, where the fluid limit is most
+    faithful, out of packet mode.  ``None`` (the default) never touches
+    the packet path, bit for bit — full reproductions should keep it.
+    Fluid points carry a ``"fluid": 1.0`` marker in ``extra`` and obey
+    the accuracy contract documented in :mod:`repro.sim.fluid`.
     """
     from repro.errors import ExperimentError
 
@@ -138,7 +133,7 @@ def collect(
         scale,
     )
     def cell_config(scheme: str, policy: str, gbps: float) -> ClusterConfig:
-        cfg = replace(
+        return replace(
             config,
             scheme=scheme,
             topology_params={
@@ -147,9 +142,6 @@ def collect(
                 "trunk_bandwidth_bps": gbps * 1e9,
             },
         )
-        if coarse_tail and gbps >= COARSE_TAIL_MIN_GBPS:
-            cfg = scaled_config(cfg, 0.5)
-        return cfg
 
     grid = [
         ((scheme, policy, gbps), cell_config(scheme, policy, gbps))
@@ -157,7 +149,28 @@ def collect(
         for policy in policies
         for gbps in bandwidths
     ]
-    points = resolve_executor(None, jobs).run_points([cfg for _, cfg in grid])
+    # Fluid-eligible cells are solved inline (they cost milliseconds);
+    # the rest go through the executor as one batch.  Grid order — and
+    # with it jobs=1 vs jobs=N determinism — is preserved either way.
+    points: List[Optional[LoadPoint]] = [None] * len(grid)
+    packet_indices: List[int] = []
+    if fluid is not None:
+        from repro.sim.fluid import plan as fluid_plan
+
+        for index, (_key, cfg) in enumerate(grid):
+            cell_plan = fluid_plan(cfg)
+            if cell_plan.eligible and cell_plan.hot_trunk_utilisation >= fluid:
+                points[index] = cell_plan.point()
+            else:
+                packet_indices.append(index)
+    else:
+        packet_indices = list(range(len(grid)))
+    if packet_indices:
+        packet_points = resolve_executor(None, jobs).run_points(
+            [grid[index][1] for index in packet_indices]
+        )
+        for index, point in zip(packet_indices, packet_points):
+            points[index] = point
     results: Dict[Tuple[str, str], List[Cell]] = {}
     for ((scheme, policy, gbps), _), point in zip(grid, points):
         results.setdefault((scheme, policy), []).append((gbps, point))

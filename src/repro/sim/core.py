@@ -287,10 +287,38 @@ class Simulator:
                 # Drain fast path: pop unconditionally, no limit checks.
                 while True:
                     if tail:
-                        if heap and heap[0] < tail[0]:
-                            entry = heappop(heap)
+                        if heap:
+                            if heap[0] < tail[0]:
+                                entry = heappop(heap)
+                            else:
+                                entry = pop_tail()
                         else:
-                            entry = pop_tail()
+                            # Batch drain: while the heap stays empty
+                            # the tail's monotone run is the entire
+                            # event order — dispatch it in one tight
+                            # loop with a single truth test per event
+                            # instead of re-entering the two-lane
+                            # dispatcher.  A callback can only disturb
+                            # the run by spilling into the heap, which
+                            # the `not heap` check catches exactly.
+                            while tail and not heap:
+                                entry = pop_tail()
+                                args = entry[3]
+                                if args is not None:
+                                    self.now = entry[0]
+                                    executed += 1
+                                    entry[2](*args)
+                                else:
+                                    handle = entry[2]
+                                    if handle.cancelled:
+                                        if self._cancelled:
+                                            self._cancelled -= 1
+                                        continue
+                                    handle.sim = None
+                                    self.now = entry[0]
+                                    executed += 1
+                                    handle.fn(*handle.args)
+                            continue
                     elif heap:
                         entry = heappop(heap)
                     else:
@@ -424,3 +452,36 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now} pending={self.pending}>"
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+#: The pure-Python reference engine, always importable by name (tests
+#: that poke lane internals pin this class explicitly).
+PySimulator = Simulator
+
+#: True when the C scheduler core is active.
+USING_CCORE = False
+
+
+def _load_c_engine():
+    """Swap in the C core when it builds; silently fall back otherwise."""
+    try:
+        from repro.sim._ccore_build import load_ccore
+        module = load_ccore()
+        if module is None:
+            return None
+        module.configure(EventHandle, SchedulingError)
+        return module
+    except Exception:  # pragma: no cover - any failure means fallback
+        return None
+
+
+_ccore = _load_c_engine()
+if _ccore is not None:
+    Simulator = _ccore.Simulator  # type: ignore[misc]  # noqa: F811
+    USING_CCORE = True
+del _ccore
+
+__all__ += ["PySimulator", "USING_CCORE"]

@@ -26,7 +26,7 @@ from repro.switchsim.hashing import HashUnit
 from repro.switchsim.registers import RegisterArray
 from repro.switchsim.tables import MatchActionTable
 
-__all__ = ["PassContext", "Pipeline", "PipelineAction", "Stage"]
+__all__ = ["PassContext", "Pipeline", "PipelineAction", "Stage", "StaticPassPlan"]
 
 _pass_tokens = count(1)
 
@@ -244,6 +244,31 @@ class PassContext:
         ) % unit.buckets
 
 
+class StaticPassPlan:
+    """A compile-time-verified fixed access order for one pass shape.
+
+    Produced by :meth:`Pipeline.compile_plan`.  Holding one of these is
+    the licence to skip the per-packet :class:`PassContext` checks: the
+    plan's access sequence has already been proven feed-forward (stages
+    non-decreasing), in-range, placed in this pipeline, and
+    once-per-register — everything the dynamic checks would verify on
+    every single packet.  Programs with fixed access sequences (the
+    NetClone request/clone/response passes) compile their plans once at
+    install time and run index-based fast lanes over the register
+    file's flat store instead.
+    """
+
+    __slots__ = ("pipeline", "steps")
+
+    def __init__(self, pipeline: "Pipeline", steps: Tuple[Any, ...]):
+        self.pipeline = pipeline
+        self.steps = steps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(getattr(s, "name", "?") for s in self.steps)
+        return f"<StaticPassPlan [{names}]>"
+
+
 class Pipeline:
     """A fixed array of stages plus the objects allocated to them."""
 
@@ -279,6 +304,59 @@ class Pipeline:
         """Allocate *unit* to its stage."""
         self._stage_for(unit.stage, "hash unit", unit.name).hash_units.append(unit)
         return unit
+
+    # -- compile-time verification --------------------------------------
+    def compile_plan(self, steps) -> StaticPassPlan:
+        """Verify a fixed per-pass access order and return its plan.
+
+        *steps* is the ordered sequence of pipeline objects (registers,
+        tables, hash units) one pass shape touches.  Raises
+        :class:`PipelineConfigError` unless every step is placed in
+        this pipeline, stages are non-decreasing (feed-forward) and no
+        register is accessed more than once — the same invariants
+        :class:`PassContext` enforces per packet, proven once here.
+        """
+        stage = -1
+        seen_registers = set()
+        for obj in steps:
+            obj_stage = obj.stage
+            if not 0 <= obj_stage < self.num_stages:
+                raise PipelineConfigError(
+                    f"plan step {obj.name!r} wants stage {obj_stage}, "
+                    f"pipeline has stages 0..{self.num_stages - 1}"
+                )
+            if obj_stage < stage:
+                raise PipelineConfigError(
+                    f"plan is not feed-forward: {obj.name!r} in stage "
+                    f"{obj_stage} follows an access in stage {stage}"
+                )
+            stage = obj_stage
+            home = self.stages[obj_stage]
+            if isinstance(obj, RegisterArray):
+                if id(obj) in seen_registers:
+                    raise PipelineConfigError(
+                        f"register {obj.name!r} accessed twice in one plan"
+                    )
+                seen_registers.add(id(obj))
+                if obj not in home.registers:
+                    raise PipelineConfigError(
+                        f"register {obj.name!r} is not placed in this pipeline"
+                    )
+            elif isinstance(obj, MatchActionTable):
+                if obj not in home.tables:
+                    raise PipelineConfigError(
+                        f"table {obj.name!r} is not placed in this pipeline"
+                    )
+            elif isinstance(obj, HashUnit):
+                if obj not in home.hash_units:
+                    raise PipelineConfigError(
+                        f"hash unit {obj.name!r} is not placed in this pipeline"
+                    )
+            else:
+                raise PipelineConfigError(
+                    f"unknown plan step {obj!r}"
+                )
+        return StaticPassPlan(self, tuple(steps))
 
     # -- run-time --------------------------------------------------------
     def new_pass(self) -> PassContext:

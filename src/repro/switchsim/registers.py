@@ -16,21 +16,103 @@ stage (§3.4).
 
 A read-modify-write made through :meth:`access` counts as the single
 allowed operation, matching the hardware's stateful ALU.
+
+:class:`RegisterFile` models the other half of the SRAM story: all of
+one program's register arrays live in a single flat backing store —
+one ``array('q')`` per program, like the contiguous SRAM banks the
+compiler carves stage memory out of.  A file-backed array's ``cells``
+is a zero-copy :class:`memoryview` slice of that store, so the
+per-cell data-plane API is unchanged while index-based fast lanes
+(see :meth:`~repro.switchsim.pipeline.Pipeline.compile_plan`) can
+address the whole file through flat ``base + index`` offsets, and
+bulk control-plane operations (wipes, snapshots) run vectorised over
+a numpy view of the same memory.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from array import array
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.errors import StageAccessError
 
-__all__ = ["RegisterArray"]
+__all__ = ["RegisterArray", "RegisterFile"]
+
+
+class RegisterFile:
+    """A shared flat backing store for a program's register arrays.
+
+    Usage: construct one file, create every :class:`RegisterArray`
+    with ``file=the_file``, then :meth:`freeze` it.  Freezing lays all
+    attached arrays out back-to-back in one ``array('q')`` and hands
+    each a zero-copy ``memoryview`` slice; afterwards no further
+    arrays can attach (the exported buffers pin the allocation, just
+    like a compiled pipeline pins its SRAM map).
+    """
+
+    def __init__(self) -> None:
+        self._attached: List["RegisterArray"] = []
+        self._initials: List[int] = []
+        self._total = 0
+        #: The flat backing store (``None`` until frozen).
+        self.data: Optional[array] = None
+
+    def attach(self, register: "RegisterArray", initial: int) -> int:
+        """Reserve *register*'s cells; returns its base offset."""
+        if self.data is not None:
+            raise StageAccessError(
+                f"register file is frozen; cannot attach {register.name!r}"
+            )
+        base = self._total
+        self._attached.append(register)
+        self._initials.append(initial)
+        self._total += register.size
+        return base
+
+    def freeze(self) -> None:
+        """Materialise the flat store and wire every attached array."""
+        if self.data is not None:
+            return
+        data = array("q", bytes(8 * self._total))
+        view = np.frombuffer(data, dtype=np.int64)
+        for register, initial in zip(self._attached, self._initials):
+            if initial:
+                view[register.base : register.base + register.size] = initial
+        self.data = data
+        flat = memoryview(data)
+        for register in self._attached:
+            register.cells = flat[register.base : register.base + register.size]
+
+    def as_numpy(self) -> np.ndarray:
+        """Zero-copy int64 view of the whole file (control plane only)."""
+        if self.data is None:
+            raise StageAccessError("register file is not frozen yet")
+        return np.frombuffer(self.data, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Total cells reserved across all attached arrays."""
+        return self._total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "frozen" if self.data is not None else "open"
+        return f"<RegisterFile {len(self._attached)} arrays {self._total} cells {state}>"
 
 
 class RegisterArray:
     """A fixed-size array of integer cells bound to one pipeline stage."""
 
-    def __init__(self, name: str, size: int, stage: int, width_bits: int = 32, initial: int = 0):
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        stage: int,
+        width_bits: int = 32,
+        initial: int = 0,
+        file: Optional[RegisterFile] = None,
+    ):
         if size <= 0:
             raise StageAccessError(f"register array {name!r} needs positive size")
         if stage < 0:
@@ -42,7 +124,16 @@ class RegisterArray:
         self.stage = stage
         self.width_bits = width_bits
         self._mask = (1 << width_bits) - 1
-        self.cells: List[int] = [initial & self._mask] * size
+        self.file = file
+        if file is None:
+            #: Standalone array: a private list of cells.
+            self.base = 0
+            self.cells: Union[List[int], memoryview] = [initial & self._mask] * size
+        else:
+            #: File-backed: cells become a memoryview slice of the
+            #: file's flat store once the file is frozen.
+            self.base = file.attach(self, initial & self._mask)
+            self.cells = None  # type: ignore[assignment]
         self._last_pass_token: Optional[int] = None
         self.access_count = 0
 
@@ -182,6 +273,13 @@ class RegisterArray:
     def clear(self, value: int = 0) -> None:
         """Control-plane reset of every cell (e.g. after power cycle)."""
         masked = value & self._mask
+        if self.file is not None and self.file.data is not None:
+            # Vectorised wipe over the file's numpy view of the same
+            # memory — power-cycle drills reset 2^17-slot filter
+            # tables, which a Python loop makes measurably slow.
+            view = np.frombuffer(self.file.data, dtype=np.int64)
+            view[self.base : self.base + self.size] = masked
+            return
         for i in range(self.size):
             self.cells[i] = masked
 

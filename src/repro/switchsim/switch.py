@@ -42,6 +42,13 @@ class SwitchProgram:
     #: The pipeline this program was compiled into.
     pipeline: Pipeline
 
+    #: Optional statically-verified per-packet path: a callable
+    #: ``fast_apply(packet, switch) -> Optional[PipelineAction]``
+    #: equivalent to ``apply`` but licensed (via
+    #: :meth:`Pipeline.compile_plan`) to skip the per-packet
+    #: :class:`PassContext` checks.  ``None`` means "use ``apply``".
+    fast_apply = None
+
     def matches(self, packet: Packet) -> bool:
         """Whether *packet* should be processed by this program."""
         raise NotImplementedError
@@ -90,6 +97,10 @@ class ProgrammableSwitch:
         #: route + port maps, and knows its link direction up front.
         self._link_for_ip: Dict[int, Any] = {}
         self.program: Optional[SwitchProgram] = None
+        #: Cached ``program.fast_apply`` (resolved at install time so
+        #: the per-packet dispatch is one attribute load, not a
+        #: getattr with default).
+        self._fast_apply = None
         self.counters = Counter()
         # Per-packet counter sites bump the underlying dict directly;
         # ``Counter.reset`` clears in place, so the alias stays valid.
@@ -155,6 +166,7 @@ class ProgrammableSwitch:
         if self.program is not None:
             raise SwitchError(f"{self.name} already has a program installed")
         self.program = program
+        self._fast_apply = getattr(program, "fast_apply", None)
 
     # ------------------------------------------------------------------
     # Data plane
@@ -197,8 +209,12 @@ class ProgrammableSwitch:
         self._counts["rx"] += 1
         program = self.program
         if program is not None and program.matches(packet):
-            ctx = program.pipeline.new_pass()
-            action = program.apply(packet, ctx, self)
+            fast = self._fast_apply
+            if fast is not None:
+                action = fast(packet, self)
+            else:
+                ctx = program.pipeline.new_pass()
+                action = program.apply(packet, ctx, self)
             # ``None`` is the program's plain-forward fast path: route
             # the (possibly rewritten) packet, no copies, no drop.
             if action is None:
@@ -221,8 +237,12 @@ class ProgrammableSwitch:
             return
         program = self.program
         if program is not None and program.matches(packet):
-            ctx = program.pipeline.new_pass()
-            action = program.apply(packet, ctx, self)
+            fast = self._fast_apply
+            if fast is not None:
+                action = fast(packet, self)
+            else:
+                ctx = program.pipeline.new_pass()
+                action = program.apply(packet, ctx, self)
             if action is None:
                 self._egress(packet, None)
             else:

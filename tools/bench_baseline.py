@@ -4,10 +4,19 @@
 Two baselines are kept checked in at the repo root:
 
 * ``BENCH_core.json`` — raw engine throughput: schedule/run cycles of
-  bare fast-lane events (``Simulator.call_at``), in events/sec.
+  bare fast-lane events (``Simulator.call_at``), in events/sec, plus
+  the cancel-churn variant (every fourth event a cancellable that gets
+  cancelled) exercising lazy deletion and compaction under the fast
+  lane's feet.
 * ``BENCH_fig18.json`` — end-to-end harness throughput: the fig18
-  trunk-saturation grid at benchmark scale with ``coarse_tail=True``,
+  trunk-saturation grid at benchmark scale with ``fluid=0.0`` (every
+  model-eligible cell solved analytically, see :mod:`repro.sim.fluid`),
   in measured points/sec.
+
+Every ``--update`` also appends one timestamped record per bench to
+``BENCH_history.jsonl`` (bench, commit, wall_s_p50, throughput), and
+compare mode prints the delta against the last history entry — the
+bench trajectory across PRs, not just the latest snapshot.
 
 Modes::
 
@@ -32,8 +41,10 @@ import argparse
 import json
 import os
 import statistics
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -47,10 +58,15 @@ TOLERANCE = 0.30
 #: Fast-lane events per schedule/run cycle at scale 1.0.
 CORE_EVENTS = 4_000_000
 
+#: Append-only bench trajectory (one JSON record per line).
+HISTORY = "BENCH_history.jsonl"
+
 
 def _measure_core(scale: float, rounds: int) -> dict:
-    n = max(1, int(CORE_EVENTS * scale))
+    n = max(4, int(CORE_EVENTS * scale))
     walls = []
+    churn_walls = []
+    churn_executed = n - (n + 3) // 4
     for _ in range(rounds):
         sim = Simulator()
         call_at = sim.call_at
@@ -61,7 +77,24 @@ def _measure_core(scale: float, rounds: int) -> dict:
         executed = sim.run()
         walls.append(time.perf_counter() - start)
         assert executed == n
+
+        # Churn variant: every fourth event goes through the
+        # cancellable slow lane and is cancelled before it fires
+        # (mirrors benchmarks/bench_core.py::_schedule_run_churn).
+        sim = Simulator()
+        call_at = sim.call_at
+        at = sim.at
+        start = time.perf_counter()
+        for t in range(n):
+            if t & 3:
+                call_at(t, noop)
+            else:
+                at(t, noop).cancel()
+        executed = sim.run()
+        churn_walls.append(time.perf_counter() - start)
+        assert executed == churn_executed
     wall = statistics.median(walls)
+    churn_wall = statistics.median(churn_walls)
     return {
         "bench": "core",
         "scale": scale,
@@ -69,6 +102,8 @@ def _measure_core(scale: float, rounds: int) -> dict:
         "rounds": rounds,
         "wall_s_p50": round(wall, 4),
         "events_per_sec": round(n / wall, 1),
+        "churn_wall_s_p50": round(churn_wall, 4),
+        "churn_events_per_sec": round(churn_executed / churn_wall, 1),
     }
 
 
@@ -79,9 +114,7 @@ def _measure_fig18(scale: float, seed: int, rounds: int) -> dict:
     points = 0
     for _ in range(rounds):
         start = time.perf_counter()
-        results = fig18_trunk_saturation.collect(
-            scale=scale, seed=seed, coarse_tail=True
-        )
+        results = fig18_trunk_saturation.collect(scale=scale, seed=seed, fluid=0.0)
         walls.append(time.perf_counter() - start)
         points = sum(len(cells) for cells in results.values())
     wall = statistics.median(walls)
@@ -89,7 +122,7 @@ def _measure_fig18(scale: float, seed: int, rounds: int) -> dict:
         "bench": "fig18",
         "scale": scale,
         "seed": seed,
-        "coarse_tail": True,
+        "fluid": 0.0,
         "points": points,
         "rounds": rounds,
         "wall_s_p50": round(wall, 2),
@@ -98,35 +131,87 @@ def _measure_fig18(scale: float, seed: int, rounds: int) -> dict:
 
 
 BASELINES = (
-    ("BENCH_core.json", "events_per_sec", _measure_core),
-    ("BENCH_fig18.json", "points_per_sec", _measure_fig18),
+    ("BENCH_core.json", ("events_per_sec", "churn_events_per_sec"), _measure_core),
+    ("BENCH_fig18.json", ("points_per_sec",), _measure_fig18),
 )
 
 
-def _compare(baseline: dict, measured: dict, rate_key: str) -> str | None:
-    """Error string if *measured* regresses past tolerance, else None."""
+def _compare(baseline: dict, measured: dict, rate_keys: tuple) -> list:
+    """Error strings where *measured* regresses past tolerance."""
     if baseline.get("scale") != measured["scale"]:
-        return (
+        return [
             f"scale mismatch: baseline recorded at {baseline.get('scale')}, "
             f"measured at {measured['scale']} (set REPRO_BENCH_SCALE to match)"
+        ]
+    errors = []
+    for rate_key in rate_keys:
+        if rate_key not in baseline:
+            errors.append(f"no checked-in {rate_key} (run --update)")
+            continue
+        old = float(baseline[rate_key])
+        new = float(measured[rate_key])
+        floor = old * (1.0 - TOLERANCE)
+        if new < floor:
+            errors.append(
+                f"{rate_key} regressed {1.0 - new / old:.1%}: "
+                f"{new:,.1f} vs baseline {old:,.1f} "
+                f"(floor {floor:,.1f} at {TOLERANCE:.0%} tolerance)"
+            )
+    return errors
+
+
+def _git_commit() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, check=True,
         )
-    old = float(baseline[rate_key])
-    new = float(measured[rate_key])
-    floor = old * (1.0 - TOLERANCE)
-    if new < floor:
-        return (
-            f"{rate_key} regressed {1.0 - new / old:.1%}: "
-            f"{new:,.1f} vs baseline {old:,.1f} "
-            f"(floor {floor:,.1f} at {TOLERANCE:.0%} tolerance)"
-        )
-    return None
+        return proc.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _history_append(measured: dict, rate_keys: tuple) -> None:
+    """Append one trajectory record for *measured* to the history file."""
+    record = {
+        "ts": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": _git_commit(),
+        "bench": measured["bench"],
+        "scale": measured["scale"],
+        "wall_s_p50": measured["wall_s_p50"],
+        "throughput": measured[rate_keys[0]],
+    }
+    for rate_key in rate_keys[1:]:
+        record[rate_key] = measured[rate_key]
+    with open(REPO / HISTORY, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+def _history_last(bench: str, scale: float) -> dict | None:
+    """The most recent history record for *bench* at *scale*, if any."""
+    path = REPO / HISTORY
+    if not path.exists():
+        return None
+    last = None
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if record.get("bench") == bench and record.get("scale") == scale:
+            last = record
+    return last
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the checked-in baselines instead of comparing",
+        help="rewrite the checked-in baselines instead of comparing "
+             "(also appends a record per bench to BENCH_history.jsonl)",
     )
     parser.add_argument(
         "--scale", type=float,
@@ -150,32 +235,44 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
 
     failures = []
-    for filename, rate_key, measure in BASELINES:
+    for filename, rate_keys, measure in BASELINES:
         path = REPO / filename
         if measure is _measure_core:
             measured = measure(args.scale, args.rounds)
         else:
             measured = measure(args.scale, args.seed, args.rounds)
+        rates = ", ".join(f"{key}={measured[key]:,}" for key in rate_keys)
         print(
-            f"{filename}: {rate_key}={measured[rate_key]:,} "
+            f"{filename}: {rates} "
             f"(p50 wall {measured['wall_s_p50']}s over {args.rounds} rounds)"
         )
         if args.out is not None:
             (args.out / filename).write_text(json.dumps(measured, indent=2) + "\n")
         if args.update:
             path.write_text(json.dumps(measured, indent=2) + "\n")
-            print(f"  wrote {path.relative_to(REPO)}")
+            _history_append(measured, rate_keys)
+            print(f"  wrote {path.relative_to(REPO)} (+ {HISTORY} record)")
             continue
         if not path.exists():
             failures.append(f"{filename}: no checked-in baseline (run --update)")
             continue
         baseline = json.loads(path.read_text())
-        error = _compare(baseline, measured, rate_key)
-        if error:
+        errors = _compare(baseline, measured, rate_keys)
+        for error in errors:
             failures.append(f"{filename}: {error}")
-        else:
-            old = float(baseline[rate_key])
-            print(f"  ok vs baseline {old:,.1f} ({measured[rate_key] / old:.2f}x)")
+        if not errors:
+            primary = rate_keys[0]
+            old = float(baseline[primary])
+            print(f"  ok vs baseline {old:,} ({measured[primary] / old:.2f}x)")
+        previous = _history_last(measured["bench"], args.scale)
+        if previous and "throughput" in previous:
+            prior = float(previous["throughput"])
+            now = float(measured[rate_keys[0]])
+            print(
+                f"  history: {now:,} vs {prior:,} at "
+                f"{previous.get('commit', '?')} {previous.get('ts', '?')} "
+                f"({now / prior:.2f}x)"
+            )
 
     if failures:
         for failure in failures:

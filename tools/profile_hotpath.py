@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""One-command cProfile harness over the checked-in bench workloads.
+
+Runs the same workloads ``tools/bench_baseline.py`` measures — the raw
+engine schedule/run cycle (``core``), its cancel-churn variant
+(``churn``), and the fig18 trunk-saturation grid (``fig18``) — under
+:mod:`cProfile` and prints the top cumulative-time entries, so perf
+PRs start from data instead of guesses::
+
+    python tools/profile_hotpath.py                 # all targets
+    python tools/profile_hotpath.py core fig18      # a subset
+    python tools/profile_hotpath.py fig18 --packet  # packet-mode grid
+    python tools/profile_hotpath.py --top 40 --dump prof-out
+
+``fig18`` profiles the benchmark configuration (``fluid=0.0``, every
+eligible cell analytic); ``--packet`` switches it to the per-packet
+path (``fluid=None``), which is the one that matters for engine-level
+optimisation.  ``--dump DIR`` additionally writes one binary pstats
+file per target for ``snakeviz``/``pstats`` spelunking.
+
+``REPRO_BENCH_SCALE`` (default 0.25) and ``REPRO_BENCH_SEED`` match
+the bench harness, so profiles line up with the recorded baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Events per schedule/run cycle at scale 1.0 (matches bench_baseline).
+CORE_EVENTS = 4_000_000
+
+
+def _run_core(scale: float, seed: int, packet: bool) -> None:
+    from repro.sim.core import Simulator
+
+    n = max(1, int(CORE_EVENTS * scale))
+    sim = Simulator()
+    call_at = sim.call_at
+    noop = int
+    for t in range(n):
+        call_at(t, noop)
+    assert sim.run() == n
+
+
+def _run_churn(scale: float, seed: int, packet: bool) -> None:
+    from repro.sim.core import Simulator
+
+    n = max(4, int(CORE_EVENTS * scale))
+    sim = Simulator()
+    call_at = sim.call_at
+    at = sim.at
+    noop = int
+    for t in range(n):
+        if t & 3:
+            call_at(t, noop)
+        else:
+            at(t, noop).cancel()
+    assert sim.run() == n - (n + 3) // 4
+
+
+def _run_fig18(scale: float, seed: int, packet: bool) -> None:
+    from repro.experiments import fig18_trunk_saturation
+
+    fluid = None if packet else 0.0
+    results = fig18_trunk_saturation.collect(scale=scale, seed=seed, fluid=fluid)
+    assert sum(len(cells) for cells in results.values()) > 0
+
+
+TARGETS = {
+    "core": _run_core,
+    "churn": _run_churn,
+    "fig18": _run_fig18,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "targets", nargs="*", choices=[[], *TARGETS],
+        help=f"workloads to profile (default: all of {', '.join(TARGETS)})",
+    )
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.25")),
+    )
+    parser.add_argument(
+        "--seed", type=int,
+        default=int(os.environ.get("REPRO_BENCH_SEED", "1")),
+    )
+    parser.add_argument(
+        "--top", type=int, default=20,
+        help="rows of the cumulative-time report (default 20)",
+    )
+    parser.add_argument(
+        "--packet", action="store_true",
+        help="profile fig18's per-packet path instead of fluid mode",
+    )
+    parser.add_argument(
+        "--dump", type=Path, default=None, metavar="DIR",
+        help="also write one binary pstats file per target into DIR",
+    )
+    args = parser.parse_args(argv)
+    targets = args.targets or list(TARGETS)
+    if args.dump is not None:
+        args.dump.mkdir(parents=True, exist_ok=True)
+
+    # Import the workloads' modules up front so one-time import work
+    # doesn't show up as the first target's hot path.
+    import repro.experiments.fig18_trunk_saturation  # noqa: F401
+    import repro.sim.core  # noqa: F401
+    import repro.sim.fluid  # noqa: F401
+
+    for name in targets:
+        workload = TARGETS[name]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        workload(args.scale, args.seed, args.packet)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        mode = " (packet)" if args.packet and name == "fig18" else ""
+        print(f"\n== {name}{mode}: top {args.top} by cumulative time "
+              f"(scale {args.scale}) ==")
+        stats.sort_stats("cumulative").print_stats(args.top)
+        if args.dump is not None:
+            out = args.dump / f"{name}.pstats"
+            stats.dump_stats(out)
+            print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
