@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test smoke bench bench-compare bench-update drill profile
+.PHONY: test smoke bench bench-compare bench-update drill scenarios profile
 
 test:  ## full tier-1 suite (what the roadmap's verify line runs)
 	$(PY) -m pytest -x -q
@@ -11,8 +11,12 @@ test:  ## full tier-1 suite (what the roadmap's verify line runs)
 smoke:  ## fast tier: skips tests marked slow (multi-rack sweeps, wide pools)
 	$(PY) -m pytest -x -q -m "not slow"
 
-drill:  ## failure drills end to end (ToR cycle, spine flap, server fail/restore)
+drill:  ## failure drills (with their historical output) + full chaos catalog, invariants enforced
 	$(PY) examples/switch_failure_drill.py
+	$(PY) -m repro run-scenario all
+
+scenarios:  ## chaos-scenario catalog only (see `repro-netclone scenarios` for the list)
+	$(PY) -m repro run-scenario all
 
 bench:  ## pytest-benchmark harnesses at reduced scale (REPRO_BENCH_SCALE=0.25)
 	$(PY) -m pytest benchmarks -q -o python_files="bench_*.py" -o python_functions="bench_*"

@@ -31,9 +31,14 @@ whole fail → rebuild → restore cycle.
 Run:  python examples/switch_failure_drill.py
 """
 
-from repro.experiments.common import Cluster, ClusterConfig
-from repro.metrics.links import TrunkByteMonitor
-from repro.sim.monitor import IntervalMonitor
+# Each drill is a catalog scenario (repro.scenarios.catalog) executed
+# through the declarative runner: the timed events, checkpoints and
+# invariant checks live in the spec, and this script only renders the
+# per-window panels from the returned ScenarioRun.  Every run is
+# gated on the invariant library — a duplicate delivery, a stuck
+# request or a clone escaping its rack fails the drill loudly.
+
+from repro.scenarios import ScenarioRun, get_scenario, run_scenario
 from repro.sim.units import ms
 
 FAIL_AT = ms(200)
@@ -42,24 +47,17 @@ REINIT = ms(60)
 HORIZON = ms(600)
 
 
+def _enforce(run: ScenarioRun) -> None:
+    """Die loudly when any applicable invariant failed."""
+    if not run.report.passed:
+        raise SystemExit(run.report.summary())
+
+
 def tor_drill() -> None:
     """Drill 1: ToR power cycle (the paper's Figure 16)."""
     print("== Drill 1: ToR power cycle (registers wiped) ==")
-    config = ClusterConfig(
-        scheme="netclone",
-        rate_rps=120e3,
-        warmup_ns=0,
-        measure_ns=HORIZON,
-        drain_ns=ms(20),
-        seed=5,
-    )
-    cluster = Cluster(config)
-    monitor = IntervalMonitor(window_ns=ms(20), horizon_ns=HORIZON)
-    cluster.recorder.completion_monitor = monitor
-    cluster.sim.at(FAIL_AT, cluster.switch.fail)
-    cluster.sim.at(RECOVER_AT, cluster.switch.recover, REINIT)
-    cluster.start()
-    cluster.run()
+    run = run_scenario(get_scenario("tor-power-cycle"))
+    monitor = run.completions
 
     print("time(ms)  throughput(KRPS)")
     for start_s, rate in zip(monitor.window_starts_sec(), monitor.rates_per_second()):
@@ -74,13 +72,13 @@ def tor_drill() -> None:
             marker = "  <- back online (registers wiped)"
         print(f"{start_ms:7.0f}  {rate / 1e3:8.1f} {bar}{marker}")
 
-    redundant = sum(client.redundant_responses for client in cluster.clients)
-    dropped = cluster.switch.counters.get("rx_dropped_down")
+    end = run.end
     print()
-    print(f"packets dropped while down : {dropped}")
-    print(f"duplicate deliveries after the wipe : {redundant}  (soft state only)")
-    print(f"sequence register restarted at : {cluster.program.seq.peek(0)} "
+    print(f"packets dropped while down : {end['switch_drops_down']}")
+    print(f"duplicate deliveries after the wipe : {end['redundant']}  (soft state only)")
+    print(f"sequence register restarted at : {end['seq_register']} "
           f"(safe: earlier IDs have long completed)")
+    _enforce(run)
 
 
 WITHDRAW_AT = ms(150)
@@ -93,26 +91,9 @@ WINDOW = ms(25)
 def spine_drill() -> None:
     """Drill 2: withdraw → fail → restore a spine, with a trunk timeline."""
     print("== Drill 2: spine withdraw -> fail -> restore (recovery timeline) ==")
-    config = ClusterConfig(
-        scheme="netclone",
-        topology="spine_leaf",
-        topology_params={"racks": 2, "spines": 2},
-        rate_rps=120e3,
-        warmup_ns=0,
-        measure_ns=SPINE_HORIZON,
-        drain_ns=ms(20),
-        seed=5,
-    )
-    cluster = Cluster(config)
-    fabric = cluster.topology
-    monitor = IntervalMonitor(window_ns=WINDOW, horizon_ns=SPINE_HORIZON)
-    cluster.recorder.completion_monitor = monitor
-    trunks = TrunkByteMonitor(cluster.sim, fabric.trunks, WINDOW, SPINE_HORIZON)
-    cluster.sim.at(WITHDRAW_AT, fabric.withdraw_spine, 0)
-    cluster.sim.at(POWER_OFF_AT, fabric.spines[0].fail)
-    cluster.sim.at(RESTORE_AT, fabric.restore_spine, 0, ms(10))
-    cluster.start()
-    cluster.run()
+    run = run_scenario(get_scenario("spine-flap"))
+    monitor = run.completions
+    trunks = run.trunks
 
     deltas = trunks.deltas()
     spine0 = [name for name in deltas if name.endswith("s1")]
@@ -133,11 +114,11 @@ def spine_drill() -> None:
         print(
             f"{start_ms:7.0f}  {rates[w] / 1e3:9.1f}  {s0_kb:9.1f}  {s1_kb:9.1f}{marker}"
         )
-    redundant = sum(client.redundant_responses for client in cluster.clients)
     print()
-    print(f"duplicate deliveries across the flap : {redundant}")
+    print(f"duplicate deliveries across the flap : {run.end['redundant']}")
     print("hitless: the withdrawn spine's trunks drain within one window "
           "while total throughput holds")
+    _enforce(run)
 
 
 SERVER_KILL_AT = ms(150)
@@ -149,31 +130,9 @@ SERVER_VICTIM = 0
 def server_drill() -> None:
     """Drill 3: kill and restore a server under rack-local placement."""
     print("== Drill 3: server fail -> placement-aware rebuild -> restore ==")
-    config = ClusterConfig(
-        scheme="netclone",
-        topology="spine_leaf",
-        topology_params={"racks": 2, "spines": 2},
-        placement="rack-local",
-        num_servers=6,  # three per rack: one death keeps racks local
-        rate_rps=120e3,
-        warmup_ns=0,
-        measure_ns=SERVER_HORIZON,
-        drain_ns=ms(20),
-        seed=5,
-    )
-    cluster = Cluster(config)
-    fabric = cluster.topology
-    handler = cluster.failure_handler()
-    monitor = IntervalMonitor(window_ns=WINDOW, horizon_ns=SERVER_HORIZON)
-    cluster.recorder.completion_monitor = monitor
-    trunks = TrunkByteMonitor(cluster.sim, fabric.trunks, WINDOW, SERVER_HORIZON)
-    victim = cluster.servers[SERVER_VICTIM]
-    cluster.sim.at(SERVER_KILL_AT, fabric.fail_host, victim)
-    cluster.sim.at(SERVER_KILL_AT, handler.remove_server, SERVER_VICTIM)
-    cluster.sim.at(SERVER_RESTORE_AT, fabric.restore_host, victim)
-    cluster.sim.at(SERVER_RESTORE_AT, handler.restore_server, SERVER_VICTIM)
-    cluster.start()
-    cluster.run()
+    run = run_scenario(get_scenario("server-fail-restore"))
+    monitor = run.completions
+    trunks = run.trunks
 
     rates = monitor.rates_per_second()
     trunk_kb = trunks.total_per_window()
@@ -188,14 +147,15 @@ def server_drill() -> None:
         print(
             f"{start_ms:7.0f}  {rates[w] / 1e3:9.1f}  {trunk_kb[w] / 1e3:8.1f}{marker}"
         )
-    accepted = victim.counters.get("requests_accepted")
+    end = run.end
     print()
-    print(f"table epoch after fail + restore : {handler.epoch} "
+    print(f"table epoch after fail + restore : {end['handler_epoch']} "
           f"(clients swap tables by epoch, never by size)")
     print(f"trunk bytes across the whole drill : {sum(trunk_kb)} "
           f"(rack-local rebuilds kept every clone in-rack)")
-    print(f"victim requests accepted : {accepted} "
+    print(f"victim requests accepted : {end['server_accepted'][SERVER_VICTIM]} "
           f"(steering stopped after the rebuild, resumed after restore)")
+    _enforce(run)
 
 
 def main() -> None:

@@ -99,6 +99,23 @@ class OpenLoopClient(Host):
     def _next_gap(self) -> int:
         return int(self.rng.expovariate(1.0) * self._mean_gap_ns) + 1
 
+    def set_rate(self, rate_rps: float) -> None:
+        """Change the offered rate mid-run (load-surge drills).
+
+        Pre-drawn arrival records carry gaps drawn at the old rate, so
+        they are flushed (their packets go back to the pool) and the
+        flushed sequence numbers are re-drawn at the new rate.  The one
+        gap already on the event queue still reflects the old rate —
+        the first post-change arrival is where the new rate takes hold,
+        exactly as if the operator had reconfigured a live generator.
+        """
+        if rate_rps <= 0:
+            raise ExperimentError("client rate must be positive")
+        self.rate_rps = rate_rps
+        self._mean_gap_ns = 1e9 / rate_rps
+        if self.ARRIVAL_PREDRAW:
+            self._flush_arrivals()
+
     def _new_packet(
         self,
         src: int,

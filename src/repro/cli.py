@@ -6,18 +6,23 @@ Examples::
     repro-netclone schemes
     repro-netclone topologies
     repro-netclone placements
+    repro-netclone scenarios
     repro-netclone fig7 --scale 0.25 --jobs 4
     repro-netclone run fig17 --topology spine_leaf --jobs 4
     repro-netclone fig18 --topology spine_leaf:spines=4,spine_policy=least-loaded
     repro-netclone fig19 --placement rack-weighted:p=0.7 --jobs 4
     repro-netclone fig16 resources --seed 7
+    repro-netclone run-scenario kill-during-rebuild --report-dir reports/
+    repro-netclone run-scenario all --jobs 4 --scale 0.25
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.experiments.placements import canonical_placement, describe_placements
 from repro.experiments.registry import get_experiment, list_experiments
@@ -43,10 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (fig7..fig19, table1, resources), or "
-        "'schemes' / 'topologies' / 'placements' to list the registered "
-        "plugins of one axis (an optional leading 'run' is accepted and "
-        "ignored)",
+        help="experiment ids to run (fig7..fig19, table1, resources), "
+        "'schemes' / 'topologies' / 'placements' / 'scenarios' to list "
+        "the registered plugins of one axis, or 'run-scenario' followed "
+        "by catalog names, TOML spec paths or 'all' (an optional leading "
+        "'run' is accepted and ignored)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -57,7 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="shrink measurement windows/grids (e.g. 0.25 for a quick pass)",
     )
-    parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root RNG seed (default: 1 for experiments; run-scenario "
+        "keeps each scenario's own pinned seed unless overridden)",
+    )
     parser.add_argument(
         "--jobs",
         "-j",
@@ -83,7 +95,65 @@ def build_parser() -> argparse.ArgumentParser:
         "'placements'; default: global — the paper's single global "
         "candidate-pair table)",
     )
+    parser.add_argument(
+        "--report-dir",
+        default=None,
+        help="run-scenario only: write each ScenarioReport as "
+        "<name>.json into this directory (created if missing)",
+    )
     return parser
+
+
+def _run_scenarios(names: List[str], args: argparse.Namespace) -> int:
+    """``run-scenario`` subcommand: run catalog entries / TOML specs.
+
+    Scenario × overrides cells run through the sweep bridge (so
+    ``--jobs N`` parallelises them, bit-identically to serial); every
+    report prints its invariant summary, optionally lands as JSON in
+    ``--report-dir``, and any failed invariant makes the exit code 1.
+    """
+    from repro.scenarios import Scenario, catalog, get_scenario
+    from repro.scenarios.runner import ScenarioReport
+    from repro.scenarios.sweep import run_scenario_grid
+
+    if not names:
+        print("run-scenario needs catalog names, TOML paths, or 'all'")
+        return 2
+    scenarios: List[Scenario] = []
+    for name in names:
+        if name == "all":
+            scenarios.extend(catalog())
+        elif name.endswith(".toml"):
+            scenarios.append(Scenario.from_toml_file(name))
+        else:
+            scenarios.append(get_scenario(name))
+    report_dicts: List[Dict[str, Any]] = run_scenario_grid(
+        scenarios,
+        schemes=None,
+        topologies=[args.topology] if args.topology else None,
+        placements=[args.placement] if args.placement else None,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+    failed = 0
+    for data in report_dicts:
+        report = ScenarioReport.from_dict(data)
+        print(report.summary())
+        if not report.passed:
+            failed += 1
+        if args.report_dir:
+            path = os.path.join(args.report_dir, f"{report.scenario}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+    if failed:
+        print(f"{failed} of {len(report_dicts)} scenario(s) FAILED")
+        return 1
+    print(f"all {len(report_dicts)} scenario(s) passed")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,6 +162,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments = list(args.experiments)
     if experiments and experiments[0] == "run":
         experiments = experiments[1:]
+    if experiments and experiments[0] == "run-scenario":
+        return _run_scenarios(experiments[1:], args)
     if args.topology is not None:
         # Fail fast (and normalise aliases) before any experiment runs;
         # inline parameters ride along in canonical key=value form.
@@ -105,8 +177,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  schemes — list registered load-balancing/cloning schemes")
         print("  topologies — list registered fabric layouts")
         print("  placements — list registered group-placement policies")
+        print("  scenarios — list the chaos-scenario catalog")
+        print("  run-scenario — run catalog scenarios / TOML specs with "
+              "invariant checks")
         return 0
     for experiment_id in experiments:
+        if experiment_id == "scenarios":
+            # Imported lazily: the scenarios package pulls the whole
+            # cluster stack, which plain listings should not pay for.
+            from repro.scenarios.catalog import describe_catalog
+
+            print("chaos-scenario catalog:")
+            for line in describe_catalog():
+                print(f"  {line}")
+            continue
         listing = _LISTINGS.get(experiment_id)
         if listing is not None:
             title, describe = listing
@@ -117,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         harness = get_experiment(experiment_id)
         harness(
             scale=args.scale,
-            seed=args.seed,
+            seed=1 if args.seed is None else args.seed,
             jobs=args.jobs,
             topology=args.topology,
             placement=args.placement,

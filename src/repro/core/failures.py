@@ -195,6 +195,66 @@ class ServerFailureHandler:
         return self.control_plane.submit(self._apply_restore, server_id, ip)
 
     # ------------------------------------------------------------------
+    def push_tables(self) -> int:
+        """Schedule a rolling table push; returns the apply time (ns).
+
+        The maintenance half of the §3.6 control-plane story: re-derive
+        and install every ToR's placement-built group table (and push
+        the fresh epoch to that rack's clients) *without* any liveness
+        change — what an operator does after re-weighting a policy or
+        as a periodic anti-entropy sweep.  Chaos scenarios use it to
+        race table pushes against failures and load surges: clients
+        must swap epochs atomically with live pre-drawn packets in
+        flight.
+        """
+        return self.control_plane.submit(self._rebuild_group_tables)
+
+    def drain_rack(self, rack: int) -> List[int]:
+        """Hitlessly remove every live server in *rack*; returns their IDs.
+
+        A drain is control-plane only — the servers stay powered on and
+        answer what is already queued, but every ToR's group table is
+        rebuilt without them, so no *new* request is steered their way
+        (rack maintenance, the §3.6 removal path applied rack-wide).
+        The fabric-wide two-live-server guard is checked up front so a
+        drain either schedules completely or not at all.
+        """
+        victims = [
+            sid
+            for sid, home in enumerate(self._base_context.server_racks)
+            if home == rack and self._live[sid]
+        ]
+        if not victims:
+            raise ExperimentError(f"rack {rack} has no live servers to drain")
+        survivors = [
+            sid for sid, alive in enumerate(self._live)
+            if alive and sid not in victims
+        ]
+        if len(survivors) < 2:
+            raise ExperimentError(
+                f"draining rack {rack} would leave {survivors} live "
+                "fabric-wide; cloning needs at least two servers"
+            )
+        for sid in victims:
+            self.remove_server(sid)
+        return victims
+
+    def restore_rack(self, rack: int) -> List[int]:
+        """Restore every server of *rack* removed by this handler."""
+        victims = [
+            sid
+            for sid in self.removed_server_ids
+            if self._base_context.server_racks[sid] == rack
+        ]
+        if not victims:
+            raise ExperimentError(
+                f"rack {rack} has no servers removed by this handler"
+            )
+        for sid in victims:
+            self.restore_server(sid)
+        return victims
+
+    # ------------------------------------------------------------------
     def _apply_removal(self, server_id: int) -> None:
         self._rebuild_group_tables()
         for program in self.programs:

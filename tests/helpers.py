@@ -29,6 +29,38 @@ def tiny_config(**overrides):
     return ClusterConfig(**defaults)
 
 
+def tiny_scenario(name="tiny", events=(), cluster=None, **scenario_fields):
+    """A validated scenario over a :func:`tiny_config`-sized cluster.
+
+    *events* are plain event dicts (the ``Scenario.from_dict`` shape);
+    *cluster* overrides individual cluster-config fields.  Shared by
+    the scenario unit tests and the scenario fuzz harness, exactly as
+    :func:`tiny_config` is shared by the cluster ones.
+    """
+    from repro.scenarios import Scenario
+
+    config = dict(
+        scheme="netclone",
+        num_servers=3,
+        workers_per_server=4,
+        num_clients=2,
+        rate_rps=0.2e6,
+        warmup_ns=ms(1),
+        measure_ns=ms(3),
+        drain_ns=ms(1),
+        seed=7,
+    )
+    config.update(cluster or {})
+    spec = {
+        "name": name,
+        "cluster": config,
+        "events": list(events),
+        "report_window_ns": ms(1),
+    }
+    spec.update(scenario_fields)
+    return Scenario.from_dict(spec)
+
+
 def assert_points_identical(a, b):
     """Field-by-field LoadPoint equality that treats nan == nan."""
 

@@ -1,0 +1,135 @@
+"""Property fuzz over random (bounded, seeded) chaos scenarios.
+
+Extends the whole-cluster fuzz (``test_cluster_fuzz.py``) one layer
+up: hypothesis composes random *valid* scenario specs — fabric, a
+liveness story (server kill/restore or rack drain/restore), switch
+wipes, load surges, table pushes — and drives each through the full
+runner.  Whatever the combination, the runner must terminate (a
+bounded drain that would not finish is a reported violation, not a
+hang), release every pooled packet, and either pass the invariant
+library or fail it with clean, structured violation messages.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import tiny_scenario
+
+from repro.scenarios import run_scenario
+
+#: Schemes with a switch program (the handler's requirement); one with
+#: in-network filtering, one without, so both duplicate-check paths run.
+SCHEMES = ("netclone", "netclone-nofilter")
+
+_US = 1000  # event times are drawn in integer microseconds
+
+
+@st.composite
+def scenario_specs(draw):
+    """A random valid scenario over a 7 ms (1+4+2) tiny timeline."""
+    fabric = draw(st.sampled_from(("star", "spine_leaf")))
+    cluster = {
+        "scheme": draw(st.sampled_from(SCHEMES)),
+        "num_servers": 4,
+        "workers_per_server": 4,
+        "rate_rps": draw(st.floats(min_value=50e3, max_value=250e3)),
+        "warmup_ns": 1000 * _US,
+        "measure_ns": 4000 * _US,
+        "drain_ns": 2000 * _US,
+        "seed": draw(st.integers(min_value=1, max_value=10_000)),
+    }
+    if fabric == "spine_leaf":
+        cluster["topology"] = "spine_leaf"
+        cluster["topology_params"] = {"racks": 2, "spines": 2}
+
+    def at(lo_us, hi_us):
+        return draw(st.integers(min_value=lo_us, max_value=hi_us)) * _US
+
+    events = []
+    # At most one liveness story, so restore targets never overlap.
+    stories = ["none", "kill"] + (["rack"] if fabric == "spine_leaf" else [])
+    story = draw(st.sampled_from(stories))
+    if story == "kill":
+        victim = draw(st.integers(min_value=0, max_value=3))
+        events.append(
+            {"at_ns": at(1200, 3500), "action": "kill_server",
+             "server": victim}
+        )
+        events.append(
+            {"at_ns": at(4000, 5500), "action": "restore_server",
+             "server": victim}
+        )
+    elif story == "rack":
+        rack = draw(st.integers(min_value=0, max_value=1))
+        events.append(
+            {"at_ns": at(1200, 3000), "action": "drain_rack", "rack": rack}
+        )
+        events.append(
+            {"at_ns": at(3500, 5500), "action": "restore_rack", "rack": rack}
+        )
+    if draw(st.booleans()):
+        events.append(
+            {
+                "at_ns": at(1500, 4000),
+                "action": "wipe_switch",
+                "down_ns": draw(st.integers(500, 1500)) * _US,
+                "reinit_ns": draw(st.integers(100, 500)) * _US,
+            }
+        )
+    if draw(st.booleans()):
+        # The surge's end-callback may legally land past the horizon;
+        # the drain must absorb it.
+        events.append(
+            {
+                "at_ns": at(1500, 5500),
+                "action": "load_surge",
+                "factor": draw(st.floats(min_value=1.2, max_value=3.0)),
+                "duration_ns": draw(st.integers(500, 2000)) * _US,
+            }
+        )
+    if draw(st.booleans()):
+        events.append({"at_ns": at(2000, 5800), "action": "push_tables"})
+    return cluster, events
+
+
+@given(spec=scenario_specs())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_random_scenarios_terminate_cleanly(spec):
+    cluster, events = spec
+    # Construction is itself the first property: every generated spec
+    # must pass validation (the strategy only emits valid scenarios).
+    scenario = tiny_scenario(name="fuzz", events=events, cluster=cluster)
+    run = run_scenario(scenario, drain_limit=200_000)
+    report = run.report
+
+    # Termination: the bounded drain emptied the queue — the runner
+    # never deadlocks or livelocks within the budget.
+    assert report.meta["drained"]
+
+    # No pooled-packet leaks, whatever the event mix did.
+    final = report.final
+    assert final["pool_free"] == final["pool_allocated"]
+
+    # Conservation and epoch monotonicity must hold unconditionally.
+    assert report.invariant("conservation-of-completions").passed, (
+        report.summary()
+    )
+    assert report.invariant("epoch-monotone").passed, report.summary()
+
+    # Everything else either holds or reports cleanly: one structured
+    # result per library invariant, non-empty messages on any failure,
+    # and the whole report serialises.
+    for result in report.invariants:
+        if not result.passed:
+            assert result.violations
+            assert all(
+                isinstance(v, str) and v for v in result.violations
+            )
+    json.dumps(report.to_dict())
+    assert report.summary().startswith("scenario 'fuzz':")

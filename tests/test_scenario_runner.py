@@ -1,0 +1,241 @@
+"""Runner + sweep bridge: report shape, determinism, pinned golden.
+
+The golden report (``tests/data/scenario_golden_tiny.json``) pins a
+full ``ScenarioReport.to_dict()`` for a tiny kill/restore scenario,
+the same way the fig18 goldens pin LoadPoints: any engine change that
+shifts a single counter, checkpoint, or violation shows up as a diff
+against the checked-in JSON.  Regenerate (deliberately!) with::
+
+    PYTHONPATH=src python tests/data/regen_scenario_golden.py
+"""
+
+import json
+import os
+
+import pytest
+
+from helpers import tiny_scenario
+
+from repro.errors import ExperimentError
+from repro.scenarios import (
+    ScenarioReport,
+    catalog,
+    catalog_names,
+    get_scenario,
+    invariant_names,
+    run_scenario,
+    run_scenario_grid,
+    scenario_grid,
+)
+from repro.sim.units import ms
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _kill_restore(name="runner-tiny", **fields):
+    return tiny_scenario(
+        name=name,
+        events=[
+            {"at_ms": 1.5, "action": "kill_server", "server": 0},
+            {"at_ms": 3.0, "action": "restore_server", "server": 0},
+        ],
+        **fields,
+    )
+
+
+# ----------------------------------------------------------------------
+# Report shape
+# ----------------------------------------------------------------------
+def test_report_shape_and_checkpoints():
+    run = run_scenario(_kill_restore())
+    report = run.report
+    assert report.scenario == "runner-tiny"
+    assert report.seed == 7 and report.scheme == "netclone"
+    # Default schedule: one checkpoint per distinct event time + "end".
+    labels = [snap["label"] for snap in report.checkpoints]
+    assert labels == ["after kill_server", "after restore_server", "end"]
+    assert [snap["time_ns"] for snap in report.checkpoints[:2]] == [
+        ms(1.5), ms(3),
+    ]
+    # Same-time checkpoints see the event's effect: server 0 is gone.
+    assert 0 not in report.checkpoints[0]["active_servers"]
+    assert 0 in report.checkpoints[1]["active_servers"]
+    # Events come back in applied order with resolved times.
+    assert [e["action"] for e in report.events] == [
+        "kill_server", "restore_server",
+    ]
+    assert run.end is report.checkpoints[-1]
+    # The "end" checkpoint is the drill-facing one: taken when the
+    # configured timeline (horizon + drain window) finishes.
+    assert run.end["time_ns"] == run.cluster.config.total_ns
+
+
+def test_final_snapshot_drained_and_leak_free():
+    report = run_scenario(_kill_restore()).report
+    final = report.final
+    assert final["label"] == "settled"
+    assert report.meta["drained"]
+    # Post-drain: queues empty, workers idle...
+    assert set(final["server_queue"]) == {0}
+    assert set(final["server_busy"]) == {0}
+    # ...anything still outstanding is explained by real packet drops
+    # (requests in flight to the killed server's dead access link)...
+    drops = (
+        final["switch_drops_down"] + final["link_drops"]
+        + final["host_rx_drops"]
+    )
+    assert final["outstanding"] == 0 or drops > 0
+    # ...every pooled packet is back on the free list...
+    assert final["pool_free"] == final["pool_allocated"]
+    # ...and the structural reachability walk found no holes.
+    assert final["unreachable"] == []
+    assert report.passed, report.summary()
+
+
+def test_lossless_run_leaves_nothing_outstanding():
+    report = run_scenario(
+        tiny_scenario(
+            name="lossless",
+            events=[{"at_ms": 2, "action": "push_tables"}],
+        )
+    ).report
+    final = report.final
+    assert final["outstanding"] == 0
+    assert final["switch_drops_down"] + final["link_drops"] == 0
+    assert final["pool_free"] == final["pool_allocated"]
+    assert report.passed, report.summary()
+
+
+def test_meta_records_liveness_floor():
+    report = run_scenario(_kill_restore()).report
+    meta = report.meta
+    assert meta["num_servers"] == 3 and meta["num_racks"] == 1
+    # One of three servers died mid-run on the single rack.
+    assert meta["min_rack_live"] == 2
+    assert meta["has_handler"]
+
+
+def test_explicit_checkpoint_schedule():
+    scenario = _kill_restore(checkpoints_ns=[ms(1), ms(2)])
+    report = run_scenario(scenario).report
+    labels = [snap["label"] for snap in report.checkpoints]
+    assert labels == [
+        f"checkpoint@{ms(1)}ns", f"checkpoint@{ms(2)}ns", "end",
+    ]
+
+
+def test_bounded_drain_reports_instead_of_hanging():
+    # A surge whose end-callback lands past the configured timeline
+    # leaves one event in the queue at the horizon.  An unbounded drain
+    # runs it; drain_limit=0 must instead surface a clean stuck-request
+    # violation — not a hang, not a crash.
+    scenario = tiny_scenario(
+        name="surge-tail",
+        events=[{"at_ms": 4.5, "action": "load_surge", "factor": 2.0,
+                 "duration_ns": ms(2)}],
+    )
+    assert run_scenario(scenario).report.meta["drained"]
+    report = run_scenario(scenario, drain_limit=0).report
+    assert not report.meta["drained"]
+    stuck = report.invariant("no-stuck-requests")
+    assert not stuck.passed
+    assert any("never drained" in v for v in stuck.violations)
+    # Even the truncated run releases every pooled packet.
+    assert report.final["pool_free"] == report.final["pool_allocated"]
+
+
+# ----------------------------------------------------------------------
+# Determinism + golden
+# ----------------------------------------------------------------------
+def test_same_spec_same_seed_bit_identical():
+    first = run_scenario(_kill_restore()).report.to_dict()
+    second = run_scenario(_kill_restore()).report.to_dict()
+    assert first == second
+
+
+def test_seed_override_reaches_the_cluster():
+    report = run_scenario(_kill_restore(), seed=99).report
+    assert report.seed == 99
+    base = run_scenario(_kill_restore()).report
+    assert base.seed == 7
+    assert report.final["client_sent"] != base.final["client_sent"]
+
+
+def test_golden_report_pinned():
+    with open(os.path.join(DATA_DIR, "scenario_golden_tiny.json")) as fh:
+        golden = json.load(fh)
+    got = run_scenario(_kill_restore(name="golden-tiny")).report.to_dict()
+    # json round-trip normalises tuples to lists before comparing.
+    assert json.loads(json.dumps(got, sort_keys=True)) == golden
+
+
+def test_report_dict_round_trip():
+    report = run_scenario(_kill_restore()).report
+    data = report.to_dict()
+    clone = ScenarioReport.from_dict(data)
+    assert clone.to_dict() == data
+    assert clone.passed == report.passed
+    assert [r.name for r in clone.invariants] == list(invariant_names())
+
+
+# ----------------------------------------------------------------------
+# Sweep bridge (scenario as a fourth sweep axis)
+# ----------------------------------------------------------------------
+def test_grid_expansion_and_strictness():
+    spine = tiny_scenario(
+        name="spiny",
+        events=[{"at_ms": 1, "action": "withdraw_spine", "spine": 0}],
+        cluster={
+            "topology": "spine_leaf",
+            "topology_params": {"racks": 2, "spines": 2},
+        },
+    )
+    with pytest.raises(ExperimentError, match="needs a spine_leaf fabric"):
+        scenario_grid([spine], topologies=["star"])
+    cells = scenario_grid([spine], topologies=["star", None], strict=False)
+    assert "skipped" in cells[0] and "spec" in cells[1]
+
+
+def test_grid_serial_runs_and_keeps_order():
+    results = run_scenario_grid(
+        [_kill_restore("grid-a"), _kill_restore("grid-b")], jobs=1
+    )
+    assert [r["scenario"] for r in results] == ["grid-a", "grid-b"]
+    assert all(r["passed"] for r in results)
+
+
+@pytest.mark.slow
+def test_grid_parallel_bit_identical_to_serial():
+    scenarios = [
+        _kill_restore("det-a"),
+        _kill_restore("det-b", cluster={"seed": 9}),
+    ]
+    serial = run_scenario_grid(scenarios, jobs=1)
+    parallel = run_scenario_grid(scenarios, jobs=4)
+    assert serial == parallel
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+def test_catalog_is_substantial_and_valid():
+    names = catalog_names()
+    assert len(names) >= 6
+    # The three rewritten drills lead the catalog...
+    assert names[:3] == (
+        "tor-power-cycle", "spine-flap", "server-fail-restore",
+    )
+    # ...and the compound kill-during-rebuild race is present.
+    assert "kill-during-rebuild" in names
+    race = get_scenario("kill-during-rebuild")
+    kills = [e for e in race.events if e.action == "kill_server"]
+    assert len(kills) >= 2
+    # Both kills land inside one control-plane latency (1 ms).
+    assert kills[1].time_ns - kills[0].time_ns < 1_000_000
+    # Every entry builds and validates.
+    assert [s.name for s in catalog()] == list(names)
+
+
+def test_catalog_unknown_name():
+    with pytest.raises(ExperimentError, match="unknown scenario"):
+        get_scenario("does-not-exist")
