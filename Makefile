@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test smoke bench bench-compare bench-update drill scenarios profile
+.PHONY: test smoke bench bench-compare bench-update drill scenarios profile rss-guard
 
 test:  ## full tier-1 suite (what the roadmap's verify line runs)
 	$(PY) -m pytest -x -q
@@ -29,3 +29,6 @@ bench-update:  ## rewrite the checked-in BENCH_*.json baselines (+ append to BEN
 
 profile:  ## cProfile the bench workloads; top-20 cumulative per target
 	$(PY) tools/profile_hotpath.py
+
+rss-guard:  ## sketch-mode fig18 sweep + 100M-request MMPP point under a peak-RSS ceiling
+	$(PY) tools/rss_guard.py

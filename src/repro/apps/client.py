@@ -61,6 +61,7 @@ class OpenLoopClient(Host):
         rx_cost_ns: int = 300,
         rx_queue_limit: int = 4096,
         packet_pool: Optional[PacketPool] = None,
+        arrival_process: Optional[Any] = None,
     ):
         super().__init__(
             sim,
@@ -79,6 +80,11 @@ class OpenLoopClient(Host):
         self.rng = rng
         self.stop_at_ns = stop_at_ns
         self.packet_pool = packet_pool
+        #: Optional open-loop modulation (MMPP bursts, diurnal waves):
+        #: an object with ``next_gap() -> int ns`` (and optionally
+        #: ``set_rate``).  ``None`` keeps the plain exponential gaps —
+        #: draw-for-draw identical to the historical client.
+        self.arrival_process = arrival_process
         self._mean_gap_ns = 1e9 / rate_rps
         #: Sequence number of the last request actually sent.
         self._seq = 0
@@ -97,6 +103,8 @@ class OpenLoopClient(Host):
         self.sim.call_after(self._next_gap(), self._send_one)
 
     def _next_gap(self) -> int:
+        if self.arrival_process is not None:
+            return self.arrival_process.next_gap()
         return int(self.rng.expovariate(1.0) * self._mean_gap_ns) + 1
 
     def set_rate(self, rate_rps: float) -> None:
@@ -113,6 +121,10 @@ class OpenLoopClient(Host):
             raise ExperimentError("client rate must be positive")
         self.rate_rps = rate_rps
         self._mean_gap_ns = 1e9 / rate_rps
+        if self.arrival_process is not None:
+            set_rate = getattr(self.arrival_process, "set_rate", None)
+            if set_rate is not None:
+                set_rate(rate_rps)
         if self.ARRIVAL_PREDRAW:
             self._flush_arrivals()
 

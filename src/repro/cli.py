@@ -6,11 +6,13 @@ Examples::
     repro-netclone schemes
     repro-netclone topologies
     repro-netclone placements
+    repro-netclone workloads
     repro-netclone scenarios
     repro-netclone fig7 --scale 0.25 --jobs 4
     repro-netclone run fig17 --topology spine_leaf --jobs 4
     repro-netclone fig18 --topology spine_leaf:spines=4,spine_policy=least-loaded
     repro-netclone fig19 --placement rack-weighted:p=0.7 --jobs 4
+    repro-netclone fig7 --workload mmpp:burst=8 --metrics sketch --jobs 4
     repro-netclone fig16 resources --seed 7
     repro-netclone run-scenario kill-during-rebuild --report-dir reports/
     repro-netclone run-scenario all --jobs 4 --scale 0.25
@@ -19,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
@@ -28,6 +31,7 @@ from repro.experiments.placements import canonical_placement, describe_placement
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.schemes import describe_schemes
 from repro.experiments.topologies import canonical_topology, describe_topologies
+from repro.experiments.workloads_registry import canonical_workload, describe_workloads
 
 __all__ = ["main"]
 
@@ -36,6 +40,7 @@ _LISTINGS = {
     "schemes": ("registered schemes:", describe_schemes),
     "topologies": ("registered topologies:", describe_topologies),
     "placements": ("registered placements:", describe_placements),
+    "workloads": ("registered workloads:", describe_workloads),
 }
 
 
@@ -94,6 +99,25 @@ def build_parser() -> argparse.ArgumentParser:
         "parameters, e.g. rack-local or rack-weighted:p=0.7 (see "
         "'placements'; default: global — the paper's single global "
         "candidate-pair table)",
+    )
+    parser.add_argument(
+        "--workload",
+        "-w",
+        default=None,
+        help="registered workload, with optional inline parameters, e.g. "
+        "mmpp:burst=8,period_ms=0.5 or kv-drift (see 'workloads'; only "
+        "harnesses with a workload axis accept it — others error out; "
+        "default: each experiment's own)",
+    )
+    parser.add_argument(
+        "--metrics",
+        choices=("exact", "sketch"),
+        default=None,
+        help="latency backend: 'exact' keeps every sample (bit-identical "
+        "to the seed), 'sketch' streams samples into mergeable "
+        "O(buckets) quantile sketches — the only mode that survives "
+        "100M+-request sweeps (harnesses without a metrics axis error "
+        "out; default: exact)",
     )
     parser.add_argument(
         "--report-dir",
@@ -170,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.topology = canonical_topology(args.topology)
     if args.placement is not None:
         args.placement = canonical_placement(args.placement)
+    if args.workload is not None:
+        args.workload = canonical_workload(args.workload)
     if args.list or not experiments:
         print("available experiments:")
         for line in list_experiments():
@@ -177,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  schemes — list registered load-balancing/cloning schemes")
         print("  topologies — list registered fabric layouts")
         print("  placements — list registered group-placement policies")
+        print("  workloads — list registered workload generators")
         print("  scenarios — list the chaos-scenario catalog")
         print("  run-scenario — run catalog scenarios / TOML specs with "
               "invariant checks")
@@ -199,13 +226,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {line}")
             continue
         harness = get_experiment(experiment_id)
-        harness(
+        kwargs: Dict[str, Any] = dict(
             scale=args.scale,
             seed=1 if args.seed is None else args.seed,
             jobs=args.jobs,
             topology=args.topology,
             placement=args.placement,
         )
+        # Newer axes (--workload, --metrics) are opt-in per harness:
+        # passed only where the signature declares them, and asking an
+        # unaware harness for one is an error, not a silent ignore.
+        accepted = inspect.signature(harness).parameters
+        for flag, value, default in (
+            ("workload", args.workload, None),
+            ("metrics", args.metrics, "exact"),
+        ):
+            if flag in accepted:
+                kwargs[flag] = default if value is None else value
+            elif value is not None:
+                print(
+                    f"experiment {experiment_id!r} has no --{flag} axis "
+                    f"(it accepts: {', '.join(accepted)})"
+                )
+                return 2
+        harness(**kwargs)
     return 0
 
 

@@ -121,24 +121,36 @@ from repro.experiments.topologies import (
     register_topology,
     topology_names,
 )
+from repro.experiments.workloads_registry import (
+    WorkloadDef,
+    describe_workloads,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "PlacementSpec",
     "SchemeSpec",
     "TopologySpec",
+    "WorkloadDef",
     "describe_placements",
     "describe_schemes",
     "describe_topologies",
+    "describe_workloads",
     "get_experiment",
     "get_placement",
     "get_scheme",
     "get_topology",
+    "get_workload",
     "list_experiments",
     "placement_names",
     "register_placement",
     "register_scheme",
     "register_topology",
+    "register_workload",
     "scheme_names",
     "topology_names",
+    "workload_names",
 ]

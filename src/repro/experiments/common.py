@@ -115,6 +115,12 @@ class ClusterConfig:
     measure_ns: int = ms(40)
     drain_ns: int = ms(5)
     seed: int = 1
+    #: Latency-metrics backend: ``"exact"`` keeps every sample (the
+    #: seed's bit-identical recorder), ``"sketch"`` streams samples
+    #: into a mergeable O(buckets) quantile sketch and attaches its
+    #: serialized form to the resulting LoadPoint — the only mode that
+    #: survives 100M+-request points (see :mod:`repro.metrics.sketch`).
+    metrics: str = "exact"
 
     # NetClone data-plane parameters (§4.1 defaults).
     num_filter_tables: int = 2
@@ -155,8 +161,21 @@ class ClusterConfig:
         # here with a diagnosable error, not deep inside a sweep worker
         # — and never silently runs the policy defaults.
         get_placement(placement_name).make_policy(dict(self.placement_params))
+        if self.metrics not in ("exact", "sketch"):
+            raise ExperimentError(
+                f"unknown metrics mode {self.metrics!r} "
+                "(choose 'exact' or 'sketch')"
+            )
         if self.workload is None:
             self.workload = make_synthetic_spec("exp", mean_us=25.0)
+        elif isinstance(self.workload, str):
+            # Registered workload name, optionally with inline params
+            # ("mmpp:burst=8") — same syntax as the topology/placement
+            # axes; resolved once here so sweep replace() copies share
+            # the spec object (and the executor ships it per worker).
+            from repro.experiments.workloads_registry import make_workload_spec
+
+            self.workload = make_workload_spec(self.workload)
         if self.num_servers < 2:
             raise ExperimentError("experiments need at least two servers")
         if self.num_clients < 1:
@@ -211,7 +230,9 @@ class Cluster:
         #: request and server response cycles through it, and uid
         #: streams restart at 1 for each built cluster.
         self.packet_pool = PacketPool()
-        self.recorder = LatencyRecorder(warmup_ns=config.warmup_ns, end_ns=config.end_ns)
+        self.recorder = LatencyRecorder(
+            warmup_ns=config.warmup_ns, end_ns=config.end_ns, mode=config.metrics
+        )
         self.topology: Fabric = self.topology_spec.make_fabric(
             TopologyContext(sim=self.sim, config=config)
         )
@@ -304,6 +325,7 @@ class Cluster:
             self.group_tables = context.group_tables
 
         per_client_rate = config.rate_rps / config.num_clients
+        make_arrivals = getattr(config.workload, "make_arrival_process", None)
         for index in range(config.num_clients):
             context.client_index = index
             common = dict(
@@ -322,6 +344,16 @@ class Cluster:
                 rx_cost_ns=config.client_rx_ns,
                 packet_pool=self.packet_pool,
             )
+            if make_arrivals is not None:
+                # Open-loop arrival modulation (MMPP bursts, diurnal
+                # tenants) draws from its own RNG stream, so workloads
+                # without a process stay draw-for-draw identical to
+                # the seed's plain-Poisson client.
+                arrivals = make_arrivals(
+                    self.rngs.stream(f"arrivals{index}"), per_client_rate, index
+                )
+                if arrivals is not None:
+                    common["arrival_process"] = arrivals
             client = spec.make_client(context, common)
             fabric.attach(client, "client", index)
             self.clients.append(client)
@@ -449,6 +481,7 @@ class Cluster:
             mean_us=recorder.mean_us(),
             samples=len(recorder),
             extra=extra,
+            latency_sketch=recorder.sketch_bytes(),
         )
 
 

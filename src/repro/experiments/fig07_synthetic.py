@@ -48,11 +48,30 @@ def collect(
     jobs: int = 1,
     topology: Optional[str] = None,
     placement: Optional[str] = None,
+    workload: Optional[str] = None,
+    metrics: str = "exact",
 ) -> Dict[str, Dict[str, SweepResult]]:
-    """All four panels' curves, keyed by panel then scheme."""
+    """All four panels' curves, keyed by panel then scheme.
+
+    *workload* (a registered workload name, optionally with inline
+    params — ``"mmpp:burst=8"``) replaces the four paper panels with a
+    single panel sweeping that workload; ``None`` reproduces the paper
+    figure.  *metrics* selects the latency backend (``"exact"`` |
+    ``"sketch"``); sketch points carry mergeable O(buckets) sketches
+    instead of raw samples, so million-request sweeps stay cheap.
+    """
+    if workload is not None:
+        from repro.experiments.workloads_registry import make_workload_spec
+
+        spec = make_workload_spec(workload)
+        panels = {spec.name: spec}
+    else:
+        panels = {
+            panel: make_synthetic_spec(kind, mean_us=mean_us or 25.0, modes=modes)
+            for panel, (kind, mean_us, modes) in PANELS.items()
+        }
     results: Dict[str, Dict[str, SweepResult]] = {}
-    for panel, (kind, mean_us, modes) in PANELS.items():
-        spec = make_synthetic_spec(kind, mean_us=mean_us or 25.0, modes=modes)
+    for panel, spec in panels.items():
         config = scaled_config(
             ClusterConfig(
                 workload=spec,
@@ -61,6 +80,7 @@ def collect(
                 num_servers=NUM_SERVERS,
                 workers_per_server=WORKERS,
                 seed=seed,
+                metrics=metrics,
             ),
             scale,
         )
@@ -76,10 +96,21 @@ def run(
     jobs: int = 1,
     topology: Optional[str] = None,
     placement: Optional[str] = None,
+    workload: Optional[str] = None,
+    metrics: str = "exact",
 ) -> str:
     """Run Figure 7 and return the formatted report."""
     sections = []
-    for panel, series in collect(scale, seed, jobs=jobs, topology=topology, placement=placement).items():
+    panels = collect(
+        scale,
+        seed,
+        jobs=jobs,
+        topology=topology,
+        placement=placement,
+        workload=workload,
+        metrics=metrics,
+    )
+    for panel, series in panels.items():
         base = series["baseline"]
         cclone = series["cclone"]
         netclone = series["netclone"]
@@ -107,5 +138,15 @@ def _run(
     jobs: int = 1,
     topology: Optional[str] = None,
     placement: Optional[str] = None,
+    workload: Optional[str] = None,
+    metrics: str = "exact",
 ) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)
+    return run(
+        scale,
+        seed,
+        jobs=jobs,
+        topology=topology,
+        placement=placement,
+        workload=workload,
+        metrics=metrics,
+    )

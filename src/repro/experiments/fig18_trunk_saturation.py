@@ -74,6 +74,8 @@ def collect(
     topology: Optional[str] = None,
     placement: Optional[str] = None,
     fluid: Optional[float] = None,
+    workload: Optional[str] = None,
+    metrics: str = "exact",
 ) -> Dict[Tuple[str, str], List[Cell]]:
     """(scheme, policy) → cells over the trunk-bandwidth grid.
 
@@ -95,6 +97,11 @@ def collect(
     the packet path, bit for bit — full reproductions should keep it.
     Fluid points carry a ``"fluid": 1.0`` marker in ``extra`` and obey
     the accuracy contract documented in :mod:`repro.sim.fluid`.
+
+    *workload* (a registered name, e.g. ``"mmpp:burst=8"``) replaces
+    the default Exp(25) spec — non-Poisson arrivals are simply never
+    fluid-eligible, so such cells always take the packet path.
+    *metrics* selects the latency backend (``"exact"`` | ``"sketch"``).
     """
     from repro.errors import ExperimentError
 
@@ -117,7 +124,12 @@ def collect(
     else:
         bandwidths = TRUNK_GBPS if scale >= 0.4 else TRUNK_GBPS[::2]
 
-    spec = make_synthetic_spec("exp", mean_us=25.0)
+    if workload is not None:
+        from repro.experiments.workloads_registry import make_workload_spec
+
+        spec = make_workload_spec(workload)
+    else:
+        spec = make_synthetic_spec("exp", mean_us=25.0)
     capacity = capacity_rps(NUM_SERVERS * WORKERS, spec.mean_service_ns)
     config = scaled_config(
         ClusterConfig(
@@ -129,6 +141,7 @@ def collect(
             num_clients=NUM_CLIENTS,
             rate_rps=LOAD_FRACTION * capacity,
             seed=seed,
+            metrics=metrics,
         ),
         scale,
     )
@@ -183,9 +196,19 @@ def run(
     jobs: int = 1,
     topology: Optional[str] = None,
     placement: Optional[str] = None,
+    workload: Optional[str] = None,
+    metrics: str = "exact",
 ) -> str:
     """Run Figure 18 and return the formatted report."""
-    results = collect(scale, seed, jobs=jobs, topology=topology, placement=placement)
+    results = collect(
+        scale,
+        seed,
+        jobs=jobs,
+        topology=topology,
+        placement=placement,
+        workload=workload,
+        metrics=metrics,
+    )
     lines = ["== Figure 18: trunk saturation vs cloning rate vs spine policy =="]
     rows = []
     for (scheme, policy), cells in results.items():
@@ -258,5 +281,15 @@ def _run(
     jobs: int = 1,
     topology: Optional[str] = None,
     placement: Optional[str] = None,
+    workload: Optional[str] = None,
+    metrics: str = "exact",
 ) -> str:
-    return run(scale, seed, jobs=jobs, topology=topology, placement=placement)
+    return run(
+        scale,
+        seed,
+        jobs=jobs,
+        topology=topology,
+        placement=placement,
+        workload=workload,
+        metrics=metrics,
+    )

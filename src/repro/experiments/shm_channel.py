@@ -1,0 +1,201 @@
+"""Shared-memory result channel for sweep workers.
+
+``concurrent.futures`` returns every worker result through the pool's
+result pipe: the payload is pickled in the worker, copied through a
+socketpair, and unpickled in the parent — three copies of O(payload)
+bytes per point.  For the streaming metrics plane the payloads are
+small (sketch-mode points carry O(buckets) sketches), but exact-mode
+points on 100M-request workloads would ship O(requests) sample bytes
+through that pipe.  This module moves result payloads out of the pipe:
+
+* Each **worker** lazily creates an append-only arena of
+  ``multiprocessing.shared_memory`` segments (one ring of
+  :data:`ARENA_BYTES` blocks, a bigger block when a payload needs it),
+  writes each pickled result into the arena, and returns a tiny
+  :class:`ShmRef` (segment name, offset, length) through the pipe —
+  O(1) pipe traffic per point regardless of payload size.
+* The **parent** resolves refs through a :class:`ShmReader`, which
+  attaches each segment once, reads payloads zero-copy out of the
+  mapping, and unlinks every segment when the batch closes.
+
+The channel degrades exactly like the executor it serves: if shared
+memory is unavailable (no ``/dev/shm``, exotic platforms) or any write
+fails, the worker returns the plain result object through the pipe —
+``resolve`` passes non-refs through untouched, so mixed batches are
+fine and behaviour is transport-independent (jobs=1 ≡ jobs=N results,
+bit for bit).  ``REPRO_SHM_RESULTS=0`` disables the channel outright.
+
+Worker-created segments are deliberately unregistered from the
+worker's ``resource_tracker`` (the parent owns unlinking); a worker
+that dies between creating a segment and returning its ref leaks that
+segment until reboot — the same window in which the pool itself is
+broken and falls back to serial.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+_LOG = logging.getLogger(__name__)
+
+__all__ = ["ARENA_BYTES", "ShmReader", "ShmRef", "available", "write_result"]
+
+#: Default arena-segment size; payloads larger than this get their own
+#: right-sized segment.
+ARENA_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Pipe-sized pointer to one pickled result in shared memory."""
+
+    name: str
+    offset: int
+    length: int
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def available() -> bool:
+    """Whether the channel should be used (probed once per process)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if os.environ.get("REPRO_SHM_RESULTS", "1") == "0":
+            _AVAILABLE = False
+        else:
+            try:
+                # No _unregister here: unlink() already tells the
+                # tracker, and a second notice raises in its loop.
+                shm = _shared_memory().SharedMemory(create=True, size=16)
+                shm.close()
+                shm.unlink()
+                _AVAILABLE = True
+            except Exception as exc:
+                _LOG.debug("shared-memory result channel unavailable: %s", exc)
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+def _unregister(shm: Any) -> None:
+    """Drop *shm* from this process's resource tracker, best effort.
+
+    The parent owns unlinking; without this, a ``spawn``-method
+    worker's tracker would unlink segments at worker exit (racing the
+    parent's reads) or warn about "leaked" segments it doesn't own.
+    """
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _WriterArena:
+    """Worker-side append-only arena over shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._segment: Optional[Any] = None
+        self._offset = 0
+        self._counter = 0
+
+    def _new_segment(self, size: int) -> Any:
+        shared_memory = _shared_memory()
+        self._counter += 1
+        name = f"repro_sweep_{os.getpid()}_{self._counter}"
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(size, ARENA_BYTES), name=name
+        )
+        _unregister(segment)
+        return segment
+
+    def write(self, data: bytes) -> ShmRef:
+        """Append *data*; returns its :class:`ShmRef`."""
+        length = len(data)
+        if self._segment is None or self._offset + length > self._segment.size:
+            # The previous segment stays mapped until process exit so
+            # the parent can read refs into it at any time.
+            self._segment = self._new_segment(length)
+            self._offset = 0
+        offset = self._offset
+        self._segment.buf[offset : offset + length] = data
+        self._offset = offset + length
+        return ShmRef(self._segment.name, offset, length)
+
+
+_ARENA: Optional[_WriterArena] = None
+
+
+def write_result(result: Any) -> Any:
+    """Worker side: park *result* in shared memory, return a ref.
+
+    Falls back to returning *result* itself (the classic pipe path)
+    when the channel is unavailable or the write fails — the parent's
+    :meth:`ShmReader.resolve` handles both shapes.
+    """
+    global _ARENA
+    if not available():
+        return result
+    try:
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        if _ARENA is None:
+            _ARENA = _WriterArena()
+        return _ARENA.write(payload)
+    except Exception as exc:
+        _LOG.debug("shm result write failed (%s); returning via pipe", exc)
+        return result
+
+
+class ShmReader:
+    """Parent side: resolves :class:`ShmRef` results, owns cleanup.
+
+    Use as a context manager around one executor batch; segments are
+    attached once per name and unlinked on close.  Resolve every ref
+    **before** closing (and before worker processes are reaped on
+    platforms using the ``spawn`` start method).
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, Any] = {}
+
+    def __enter__(self) -> "ShmReader":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def resolve(self, result: Any) -> Any:
+        """Materialise one worker result (pass non-refs through)."""
+        if not isinstance(result, ShmRef):
+            return result
+        segment = self._segments.get(result.name)
+        if segment is None:
+            segment = _shared_memory().SharedMemory(name=result.name)
+            self._segments[result.name] = segment
+        data = bytes(segment.buf[result.offset : result.offset + result.length])
+        return pickle.loads(data)
+
+    def resolve_all(self, results: List[Any]) -> List[Any]:
+        """Materialise a whole batch, order preserved."""
+        return [self.resolve(result) for result in results]
+
+    def close(self) -> None:
+        """Detach and unlink every segment this reader attached."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - double-close races
+                pass
+        self._segments.clear()

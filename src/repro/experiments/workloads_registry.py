@@ -1,0 +1,395 @@
+"""Workload plugin registry.
+
+Schemes decide *what* runs, topologies *where*, placements *where
+redundancy lands*; workloads decide **what the cluster is asked to
+do**: the request mix each client generates, the service model each
+server runs, and (new in the streaming metrics plane) the shape of the
+open-loop arrival process.  A :class:`WorkloadDef` names a factory
+that turns free-form parameters into a
+:class:`~repro.experiments.specs.WorkloadSpec`; the registry maps
+workload names (and aliases) to defs on the shared
+:class:`~repro.experiments.plugin_registry.PluginRegistry`, mirroring
+the scheme/topology/placement axes, so
+``ClusterConfig(workload="mmpp:burst=8")`` and the CLI's
+``--workload`` flag resolve through one table.
+
+Registering a workload::
+
+    from repro.experiments.workloads_registry import WorkloadDef, register_workload
+
+    @register_workload
+    def _my_workload() -> WorkloadDef:
+        return WorkloadDef(
+            name="my-workload",
+            description="one line for `repro-netclone workloads`",
+            make_spec=lambda params: MySpec(**params),
+        )
+
+Factories receive the inline CLI params (``--workload
+mmpp:burst=8,period_ms=0.5``) and must reject unknown or out-of-range
+values with a diagnosable :class:`~repro.errors.ExperimentError` — a
+typo must never silently run the default workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.plugin_registry import (
+    PluginRegistry,
+    format_plugin_params,
+    parse_plugin_params,
+)
+from repro.experiments.specs import (
+    DiurnalSpec,
+    KvSpec,
+    MmppSpec,
+    SyntheticSpec,
+    WorkloadSpec,
+    make_synthetic_spec,
+)
+from repro.workloads.distributions import FixedDistribution, LognormalDistribution
+
+__all__ = [
+    "PLUGIN_MODULES",
+    "WorkloadDef",
+    "canonical_workload",
+    "describe_workloads",
+    "format_workload",
+    "get_workload",
+    "iter_workloads",
+    "make_workload_spec",
+    "parse_workload",
+    "register_workload",
+    "registered_modules",
+    "unregister_workload",
+    "workload_names",
+]
+
+#: Modules imported lazily on registry access so self-registering
+#: plugin workloads become visible without the core importing them
+#: eagerly.  Append at any time; new entries load on the next lookup.
+PLUGIN_MODULES: List[str] = []
+
+
+@dataclass
+class WorkloadDef:
+    """Declarative description of one workload family."""
+
+    #: Canonical workload name (what ``ClusterConfig.workload`` strings
+    #: normalise to).
+    name: str
+    #: One-line description shown by ``repro-netclone workloads``.
+    description: str
+    #: ``params -> WorkloadSpec`` — build one spec from the merged
+    #: parameter dict, validating every knob.
+    make_spec: Callable[[Dict[str, Any]], WorkloadSpec]
+    #: Alternative lookup names.
+    aliases: Tuple[str, ...] = ()
+    #: Module that registered the def (filled in by ``register_workload``).
+    module: Optional[str] = None
+
+
+_IMPL = PluginRegistry(
+    kind="workload",
+    spec_type=WorkloadDef,
+    plugin_modules=PLUGIN_MODULES,
+    factory_field="make_spec",
+)
+#: Shared with :class:`PluginRegistry` (tests reset entries here).
+_loaded_plugins = _IMPL._loaded_plugins
+
+
+def register_workload(spec_or_factory):
+    """Register a workload; usable as a decorator or called directly.
+
+    Accepts either a :class:`WorkloadDef` or a zero-argument factory
+    returning one (the decorator form).  Duplicate names or aliases
+    raise :class:`~repro.errors.ExperimentError`.
+    """
+    return _IMPL.register(spec_or_factory)
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload (and its aliases); mainly for tests."""
+    _IMPL.unregister(name)
+
+
+def get_workload(name: str) -> WorkloadDef:
+    """The def registered under *name* (aliases resolve)."""
+    return _IMPL.get(name)
+
+
+def parse_workload(value: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=val,..."`` into (canonical name, params).
+
+    Same inline syntax as the topology/placement axes: the bare form
+    (``"exp"``, or any alias) yields an empty param dict, and
+    ``"mmpp:burst=8"`` parses to ``("mmpp", {"burst": 8})``.  Unknown
+    workload names and malformed params raise
+    :class:`~repro.errors.ExperimentError`.
+    """
+    name, params = parse_plugin_params(value, "workload")
+    return get_workload(name).name, params
+
+
+def format_workload(name: str, params: Dict[str, Any]) -> str:
+    """The inverse of :func:`parse_workload` (stable param order)."""
+    return format_plugin_params(name, params)
+
+
+def canonical_workload(value: str) -> str:
+    """*value* with the name de-aliased and params in canonical order.
+
+    Validates as a side effect: unknown names and malformed params
+    raise.  Used by the CLI so one spelling of ``"mmpp:burst=8"``
+    exists everywhere.
+    """
+    return format_workload(*parse_workload(value))
+
+
+def make_workload_spec(
+    value: str, params: Optional[Dict[str, Any]] = None
+) -> WorkloadSpec:
+    """Resolve *value* and build its spec, validated.
+
+    *value* is either a bare registered name (with *params* supplied
+    separately) or the full inline form ``"name:key=val,..."``.
+    """
+    if params is None:
+        name, params = parse_workload(value)
+    else:
+        name, params = get_workload(value).name, dict(params)
+    return get_workload(name).make_spec(params)
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Canonical names of every registered workload, in registration order."""
+    return _IMPL.names()
+
+
+def iter_workloads() -> List[WorkloadDef]:
+    """Every registered def, in registration order."""
+    return _IMPL.specs()
+
+
+def describe_workloads() -> List[str]:
+    """``name — description`` lines (aliases in parentheses)."""
+    return _IMPL.describe()
+
+
+def registered_modules() -> Tuple[str, ...]:
+    """Modules that registered workloads (for sweep worker re-imports)."""
+    return _IMPL.registered_modules()
+
+
+# ----------------------------------------------------------------------
+# Built-in workloads
+# ----------------------------------------------------------------------
+def _check_params(params: Dict[str, Any], known: Tuple[str, ...], workload: str) -> None:
+    """Reject unknown workload knobs.
+
+    A typoed key (``brust=8``) would otherwise be dropped and the
+    experiment would silently run the workload defaults while
+    reporting the parameters the user typed.
+    """
+    unknown = sorted(set(params) - set(known))
+    if unknown:
+        known_note = ", ".join(sorted(known)) if known else "(none)"
+        raise ExperimentError(
+            f"unknown {workload} workload parameter(s) {', '.join(unknown)}; "
+            f"known: {known_note}"
+        )
+
+
+def _float_param(params: Dict[str, Any], key: str, default: float, workload: str) -> float:
+    value = params.get(key, default)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ExperimentError(
+            f"{workload} workload parameter {key}={value!r} must be a number"
+        ) from None
+
+
+def _int_param(params: Dict[str, Any], key: str, default: int, workload: str) -> int:
+    value = params.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ExperimentError(
+            f"{workload} workload parameter {key}={value!r} must be an integer"
+        )
+    return value
+
+
+def _exp_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(params, ("mean_us",), "exp")
+    return make_synthetic_spec("exp", mean_us=_float_param(params, "mean_us", 25.0, "exp"))
+
+
+def _bimodal_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(params, (), "bimodal")
+    return make_synthetic_spec("bimodal")
+
+
+def _fixed_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(params, ("mean_us",), "fixed")
+    mean_us = _float_param(params, "mean_us", 25.0, "fixed")
+    return SyntheticSpec(partial(FixedDistribution, mean_us))
+
+
+def _lognormal_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(params, ("mean_us", "sigma"), "lognormal")
+    mean_us = _float_param(params, "mean_us", 25.0, "lognormal")
+    sigma = _float_param(params, "sigma", 1.0, "lognormal")
+    return SyntheticSpec(partial(LognormalDistribution, mean_us, sigma))
+
+
+def _kv_spec(cost_model: str, params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(
+        params,
+        ("scan_fraction", "num_keys", "zipf_skew", "scan_count", "drift_period"),
+        cost_model,
+    )
+    return KvSpec(
+        cost_model=cost_model,
+        scan_fraction=_float_param(params, "scan_fraction", 0.01, cost_model),
+        num_keys=_int_param(params, "num_keys", 1_000_000, cost_model),
+        zipf_skew=_float_param(params, "zipf_skew", 0.99, cost_model),
+        scan_count=_int_param(params, "scan_count", 100, cost_model),
+        drift_period=_int_param(params, "drift_period", 0, cost_model),
+    )
+
+
+def _kv_drift_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    params = dict(params)
+    params.setdefault("drift_period", 10_000)
+    return _kv_spec("redis", params)
+
+
+def _mmpp_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(
+        params, ("kind", "mean_us", "burst", "high_fraction", "period_ms"), "mmpp"
+    )
+    return MmppSpec(
+        kind=str(params.get("kind", "exp")),
+        mean_us=_float_param(params, "mean_us", 25.0, "mmpp"),
+        burst=_float_param(params, "burst", 8.0, "mmpp"),
+        high_fraction=_float_param(params, "high_fraction", 0.1, "mmpp"),
+        period_ms=_float_param(params, "period_ms", 1.0, "mmpp"),
+    )
+
+
+def _diurnal_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    _check_params(params, ("kind", "mean_us", "amplitude", "period_ms"), "diurnal")
+    return DiurnalSpec(
+        kind=str(params.get("kind", "exp")),
+        mean_us=_float_param(params, "mean_us", 25.0, "diurnal"),
+        amplitude=_float_param(params, "amplitude", 0.5, "diurnal"),
+        period_ms=_float_param(params, "period_ms", 2.0, "diurnal"),
+    )
+
+
+register_workload(
+    WorkloadDef(
+        name="exp",
+        description="Poisson open loop over Exp(mean_us) service times — "
+        "the seed's default synthetic workload (§5.1.2); param: mean_us",
+        make_spec=_exp_spec,
+        aliases=("exponential",),
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="bimodal",
+        description="Poisson open loop over the paper's 90%-25µs / "
+        "10%-250µs bimodal service mix",
+        make_spec=_bimodal_spec,
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="fixed",
+        description="Poisson open loop over deterministic service times; "
+        "param: mean_us",
+        make_spec=_fixed_spec,
+        aliases=("deterministic",),
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="lognormal",
+        description="Poisson open loop over heavy-tailed Lognormal service "
+        "times; params: mean_us, sigma",
+        make_spec=_lognormal_spec,
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="kv-redis",
+        description="Redis-cost key-value store, Zipf keys, GET/SCAN mix "
+        "(§5.5); params: scan_fraction, num_keys, zipf_skew, scan_count, "
+        "drift_period",
+        make_spec=partial(_kv_spec, "redis"),
+        aliases=("redis", "kv"),
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="kv-memcached",
+        description="Memcached-cost key-value store, Zipf keys, GET/SCAN "
+        "mix (§5.5); params: scan_fraction, num_keys, zipf_skew, "
+        "scan_count, drift_period",
+        make_spec=partial(_kv_spec, "memcached"),
+        aliases=("memcached",),
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="mmpp",
+        description="Markov-modulated Poisson bursts over synthetic service "
+        "times — calm/burst states, exact long-run rate; params: kind, "
+        "mean_us, burst, high_fraction, period_ms",
+        make_spec=_mmpp_spec,
+        aliases=("bursty",),
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="diurnal",
+        description="phase-staggered sinusoidal multi-tenant arrivals over "
+        "synthetic service times; params: kind, mean_us, amplitude, "
+        "period_ms",
+        make_spec=_diurnal_spec,
+        aliases=("multi-tenant",),
+        module=__name__,
+    )
+)
+
+register_workload(
+    WorkloadDef(
+        name="kv-drift",
+        description="kv-redis with a time-drifting Zipf hot set (rotates "
+        "one key per drift_period requests); params as kv-redis, "
+        "drift_period defaults to 10000",
+        make_spec=_kv_drift_spec,
+        aliases=("drift",),
+        module=__name__,
+    )
+)

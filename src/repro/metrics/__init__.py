@@ -1,11 +1,13 @@
-"""Measurement: latency recording, percentiles, sweeps, result tables."""
+"""Measurement: latency recording, sketches, percentiles, sweeps, tables."""
 
 from repro.metrics.latency import LatencyRecorder, percentile
+from repro.metrics.sketch import LatencySketch
 from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.metrics.tables import format_table
 
 __all__ = [
     "LatencyRecorder",
+    "LatencySketch",
     "LoadPoint",
     "SweepResult",
     "format_table",

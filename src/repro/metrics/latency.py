@@ -5,6 +5,21 @@ requests at a given target sending rate".  The recorder implements the
 standard open-loop methodology: samples whose *send time* falls inside
 ``[warmup_ns, end_ns)`` count toward latency percentiles and
 throughput; everything else (cold start, drain tail) is ignored.
+
+Two storage backends share one API (``mode=`` at construction):
+
+* ``"exact"`` (default) appends every sample to an ``array("q")`` and
+  answers percentiles through :func:`percentile` — bit-identical to
+  the historical recorder, O(requests) memory.
+* ``"sketch"`` folds samples into a mergeable
+  :class:`~repro.metrics.sketch.LatencySketch` and never stores raw
+  samples — O(buckets) memory at any request count, quantiles within
+  the sketch's ≤1% relative-error contract.
+
+``percentile``/``p50_us``/``p99_us``/``p999_us``/``mean_us``/``merge``
+behave identically over both backends (empty recorders answer NaN in
+both modes); ``mean_us`` is exact in both (a running sum, no sample
+materialisation).
 """
 
 from __future__ import annotations
@@ -15,6 +30,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.metrics.sketch import LatencySketch
 from repro.sim.units import SECONDS
 
 __all__ = ["LatencyRecorder", "percentile"]
@@ -36,14 +52,31 @@ def percentile(samples: Sequence[int], q: float) -> float:
 class LatencyRecorder:
     """Collects request latencies inside a measurement window."""
 
-    def __init__(self, warmup_ns: int = 0, end_ns: Optional[int] = None):
+    def __init__(
+        self,
+        warmup_ns: int = 0,
+        end_ns: Optional[int] = None,
+        mode: str = "exact",
+    ):
         if warmup_ns < 0:
             raise ExperimentError("warmup must be non-negative")
         if end_ns is not None and end_ns <= warmup_ns:
             raise ExperimentError("measurement window must be non-empty")
+        if mode not in ("exact", "sketch"):
+            raise ExperimentError(
+                f"unknown recorder mode {mode!r} (choose 'exact' or 'sketch')"
+            )
         self.warmup_ns = warmup_ns
         self.end_ns = end_ns
-        self.latencies_ns = array("q")
+        self.mode = mode
+        #: Raw samples in exact mode; ``None`` in sketch mode (sketch
+        #: mode never materialises per-request samples).
+        self.latencies_ns: Optional[array] = array("q") if mode == "exact" else None
+        self.sketch: Optional[LatencySketch] = (
+            LatencySketch() if mode == "sketch" else None
+        )
+        #: Running sum of recorded latencies (exact in both modes).
+        self._sum_ns = 0
         self.sent_in_window = 0
         self.completed_in_window = 0
         #: Optional IntervalMonitor fed with completion times (Fig. 16).
@@ -80,7 +113,12 @@ class LatencyRecorder:
         if done_time_ns >= self.warmup_ns and (end_ns is None or done_time_ns < end_ns):
             self.completed_in_window += 1
         if send_time_ns >= self.warmup_ns and (end_ns is None or send_time_ns < end_ns):
-            self.latencies_ns.append(done_time_ns - send_time_ns)
+            latency = done_time_ns - send_time_ns
+            self._sum_ns += latency
+            if self.latencies_ns is not None:
+                self.latencies_ns.append(latency)
+            else:
+                self.sketch.add(latency)
 
     # ------------------------------------------------------------------
     @property
@@ -104,29 +142,79 @@ class LatencyRecorder:
             return float("nan")
         return self.sent_in_window * SECONDS / window
 
+    # ------------------------------------------------------------------
+    def percentile_ns(self, q: float) -> float:
+        """The *q*-th latency percentile in ns over whichever backend.
+
+        The one backend dispatch the ``pXX_us`` helpers share; empty
+        recorders answer NaN in both modes.
+        """
+        if self.latencies_ns is not None:
+            return percentile(self.latencies_ns, q)
+        return self.sketch.quantile(q)
+
     def p50_us(self) -> float:
         """Median latency in microseconds."""
-        return percentile(self.latencies_ns, 50) / 1000.0
+        return self.percentile_ns(50) / 1000.0
 
     def p99_us(self) -> float:
         """99th-percentile latency in microseconds."""
-        return percentile(self.latencies_ns, 99) / 1000.0
+        return self.percentile_ns(99) / 1000.0
 
     def p999_us(self) -> float:
         """99.9th-percentile latency in microseconds."""
-        return percentile(self.latencies_ns, 99.9) / 1000.0
+        return self.percentile_ns(99.9) / 1000.0
 
     def mean_us(self) -> float:
-        """Mean latency in microseconds."""
-        if not self.latencies_ns:
+        """Mean latency in microseconds (exact in both modes)."""
+        count = len(self)
+        if count == 0:
             return float("nan")
-        return float(np.mean(np.frombuffer(self.latencies_ns, dtype=np.int64))) / 1000.0
+        return self._sum_ns / count / 1000.0
 
     def merge(self, other: "LatencyRecorder") -> None:
-        """Fold another recorder's samples into this one."""
-        self.latencies_ns.extend(other.latencies_ns)
+        """Fold another recorder's samples into this one.
+
+        Exact merges into exact, sketch merges into sketch, and a
+        sketch recorder absorbs an exact one (its samples fold into
+        the buckets); an exact recorder cannot absorb a sketch — the
+        raw samples no longer exist.
+        """
+        if self.latencies_ns is not None:
+            if other.latencies_ns is None:
+                raise ExperimentError(
+                    "cannot merge a sketch recorder into an exact one "
+                    "(raw samples were never stored)"
+                )
+            self.latencies_ns.extend(other.latencies_ns)
+        elif other.latencies_ns is not None:
+            if len(other.latencies_ns):
+                self.sketch.add_many(other.latencies_ns)
+        else:
+            self.sketch.merge(other.sketch)
+        self._sum_ns += other._sum_ns
         self.sent_in_window += other.sent_in_window
         self.completed_in_window += other.completed_in_window
 
+    def sketch_bytes(self) -> Optional[bytes]:
+        """Serialized sketch (sketch mode only; ``None`` in exact mode)."""
+        if self.sketch is None:
+            return None
+        return self.sketch.to_bytes()
+
+    def result_payload(self) -> bytes:
+        """The bytes a collection channel ships for this recorder.
+
+        Exact mode ships the raw sample array — O(requests); sketch
+        mode ships the serialized sketch — O(buckets).  (Counters ride
+        separately; this is the latency payload the streaming metrics
+        plane shrinks.)
+        """
+        if self.latencies_ns is not None:
+            return self.latencies_ns.tobytes()
+        return self.sketch.to_bytes()
+
     def __len__(self) -> int:
-        return len(self.latencies_ns)
+        if self.latencies_ns is not None:
+            return len(self.latencies_ns)
+        return self.sketch.count

@@ -1,0 +1,331 @@
+"""Mergeable relative-error latency sketches (DDSketch-style).
+
+At 100M+ requests per sweep point, keeping every latency sample alive
+(``array("q")``, 8 bytes each) costs O(requests) memory per point and
+O(requests) bytes on the executor's collection path.  A
+:class:`LatencySketch` replaces the sample list with log-spaced
+buckets: bucket *i* covers ``(gamma^(i-1), gamma^i]`` with
+``gamma = (1 + alpha) / (1 - alpha)``, so returning the bucket
+midpoint ``2 * gamma^i / (gamma + 1)`` for any rank is guaranteed to
+be within relative error ``alpha`` of the true sample at that rank —
+the DDSketch bound.  The whole structure is O(log(max/min)) buckets
+(~1.4k for ns latencies up to hours at the default ``alpha = 0.01``),
+merges exactly (bucket-wise addition — merge is associative and
+commutative), and serialises to a few KB regardless of sample count.
+
+Quantiles therefore stay accurate at any scale: p99/p99.9 of a
+billion-sample stream come out within 1% (relative) of the exact
+``np.percentile(..., method="lower")`` answer, while recording is O(1)
+memory and collection ships O(buckets) bytes.  Minimum and maximum are
+tracked exactly, so q=0 / q=100 are exact and every quantile is
+clamped into ``[min, max]``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from array import array
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["LatencySketch", "RELATIVE_ERROR"]
+
+#: Default guaranteed relative quantile error (the sketch contract).
+RELATIVE_ERROR = 0.01
+
+#: Serialization magic/version prefix.
+_MAGIC = b"LSK1"
+_HEADER = struct.Struct("<4sdQQqqqii")
+
+
+class LatencySketch:
+    """Log-bucketed quantile sketch over non-negative integer samples.
+
+    :param relative_error: guaranteed relative quantile error
+        ``alpha`` (default :data:`RELATIVE_ERROR`); sketches merge
+        only with sketches of the same ``alpha``.
+    """
+
+    __slots__ = (
+        "relative_error",
+        "_gamma",
+        "_inv_log_gamma",
+        "_mid_factor",
+        "_counts",
+        "_offset",
+        "_zero",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, relative_error: float = RELATIVE_ERROR):
+        if not 0.0 < relative_error < 1.0:
+            raise ExperimentError("sketch relative error must lie in (0, 1)")
+        self.relative_error = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        log_gamma = math.log(self._gamma)
+        self._inv_log_gamma = 1.0 / log_gamma
+        # Midpoint factor: representative of bucket i is
+        # 2 * gamma^i / (gamma + 1), within alpha of every value in
+        # (gamma^(i-1), gamma^i].
+        self._mid_factor = 2.0 / (self._gamma + 1.0)
+        #: Dense bucket counts; bucket index of _counts[j] is j + _offset.
+        self._counts = array("q")
+        self._offset = 0
+        self._zero = 0
+        self._count = 0
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _bucket_index(self, value: int) -> int:
+        # ceil(log_gamma(value)); value 1 lands in bucket 0.
+        return math.ceil(math.log(value) * self._inv_log_gamma)
+
+    def _ensure_bucket(self, index: int) -> int:
+        """Grow the dense count window to include *index*; return slot."""
+        counts = self._counts
+        if not counts:
+            self._offset = index
+            counts.append(0)
+            return 0
+        if index < self._offset:
+            counts[:0] = array("q", bytes(8 * (self._offset - index)))
+            self._offset = index
+            return 0
+        slot = index - self._offset
+        if slot >= len(counts):
+            counts.extend(array("q", bytes(8 * (slot - len(counts) + 1))))
+        return slot
+
+    # ------------------------------------------------------------------
+    def add(self, value: int) -> None:
+        """Fold one sample (integer ns; values <= 0 hit the zero bucket)."""
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value <= 0:
+            self._zero += 1
+            return
+        slot = self._ensure_bucket(self._bucket_index(value))
+        self._counts[slot] += 1
+
+    def add_many(self, values: Iterable[int]) -> None:
+        """Fold a batch of samples (vectorised: one log + bincount pass).
+
+        Bit-identical to per-sample :meth:`add` calls; used by bulk
+        ingest paths (benchmarks, merging exact recorders into
+        sketches) where the per-call overhead would dominate.
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.size == 0:
+            return
+        self._count += int(arr.size)
+        self._sum += int(arr.sum())
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if self._min is None or lo < self._min:
+            self._min = lo
+        if self._max is None or hi > self._max:
+            self._max = hi
+        positive = arr[arr > 0]
+        self._zero += int(arr.size - positive.size)
+        if positive.size == 0:
+            return
+        indices = np.ceil(
+            np.log(positive.astype(np.float64)) * self._inv_log_gamma
+        ).astype(np.int64)
+        first = int(indices.min())
+        counts = np.bincount(indices - first)
+        base = self._ensure_bucket(first)
+        self._ensure_bucket(first + len(counts) - 1)
+        base = first - self._offset
+        window = np.frombuffer(self._counts, dtype=np.int64).copy()
+        window[base : base + len(counts)] += counts
+        self._counts = array("q", window.tobytes())
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total samples folded in."""
+        return self._count
+
+    @property
+    def sum(self) -> int:
+        """Exact sum of all samples (for exact means)."""
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Exact minimum sample (NaN when empty)."""
+        return float("nan") if self._min is None else float(self._min)
+
+    @property
+    def max(self) -> float:
+        """Exact maximum sample (NaN when empty)."""
+        return float("nan") if self._max is None else float(self._max)
+
+    @property
+    def num_buckets(self) -> int:
+        """Occupied width of the dense bucket window."""
+        return len(self._counts)
+
+    def mean(self) -> float:
+        """Exact mean of all samples (NaN when empty)."""
+        if self._count == 0:
+            return float("nan")
+        return self._sum / self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """The *q*-th percentile (``0 <= q <= 100``), NaN when empty.
+
+        Matches :func:`repro.metrics.latency.percentile`'s "lower"
+        rank convention: the returned value is within
+        ``relative_error`` (relative) of the sample at zero-based rank
+        ``floor(q / 100 * (count - 1))``.
+        """
+        if not 0 <= q <= 100:
+            raise ExperimentError(f"percentile {q} out of range")
+        if self._count == 0:
+            return float("nan")
+        rank = math.floor(q / 100.0 * (self._count - 1)) + 1
+        if rank <= self._zero:
+            # Zero-bucket samples are <= 0 and tracked only in min/max.
+            return float(self._min if self._min is not None else 0)
+        cumulative = self._zero
+        for slot, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            cumulative += bucket_count
+            if cumulative >= rank:
+                value = self._gamma ** (slot + self._offset) * self._mid_factor
+                return float(min(max(value, self._min), self._max))
+        # Rounding slack: the rank beyond the last bucket is the max.
+        return float(self._max)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencySketch") -> None:
+        """Fold *other* into this sketch (exact bucket-wise addition)."""
+        if not isinstance(other, LatencySketch):
+            raise ExperimentError(
+                f"cannot merge {type(other).__name__} into a LatencySketch"
+            )
+        if abs(other.relative_error - self.relative_error) > 1e-12:
+            raise ExperimentError(
+                "cannot merge sketches with different error bounds "
+                f"({other.relative_error} vs {self.relative_error})"
+            )
+        if other._count == 0:
+            return
+        self._count += other._count
+        self._sum += other._sum
+        self._zero += other._zero
+        if self._min is None or other._min < self._min:
+            self._min = other._min
+        if self._max is None or other._max > self._max:
+            self._max = other._max
+        if other._counts:
+            first = other._offset
+            self._ensure_bucket(first)
+            self._ensure_bucket(first + len(other._counts) - 1)
+            base = first - self._offset
+            counts = self._counts
+            for slot, bucket_count in enumerate(other._counts):
+                if bucket_count:
+                    counts[base + slot] += bucket_count
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Compact serialized form: O(buckets) bytes, version-tagged."""
+        counts = self._counts
+        # Trim zero margins so idle windows never inflate the payload.
+        first = 0
+        last = len(counts)
+        while first < last and counts[first] == 0:
+            first += 1
+        while last > first and counts[last - 1] == 0:
+            last -= 1
+        trimmed = counts[first:last]
+        header = _HEADER.pack(
+            _MAGIC,
+            self.relative_error,
+            self._count,
+            self._zero,
+            self._sum,
+            self._min if self._min is not None else 0,
+            self._max if self._max is not None else 0,
+            self._offset + first,
+            len(trimmed),
+        )
+        return header + trimmed.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LatencySketch":
+        """Rebuild a sketch serialized by :meth:`to_bytes`."""
+        if len(data) < _HEADER.size:
+            raise ExperimentError("truncated latency-sketch payload")
+        (
+            magic,
+            relative_error,
+            count,
+            zero,
+            total,
+            minimum,
+            maximum,
+            offset,
+            num_buckets,
+        ) = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise ExperimentError(
+                f"bad latency-sketch magic {magic!r} (expected {_MAGIC!r})"
+            )
+        body = data[_HEADER.size :]
+        if len(body) != num_buckets * 8:
+            raise ExperimentError(
+                f"latency-sketch payload carries {len(body)} count bytes, "
+                f"header promises {num_buckets * 8}"
+            )
+        sketch = cls(relative_error)
+        sketch._count = count
+        sketch._zero = zero
+        sketch._sum = total
+        sketch._min = minimum if count else None
+        sketch._max = maximum if count else None
+        sketch._offset = offset
+        sketch._counts = array("q")
+        sketch._counts.frombytes(body)
+        return sketch
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencySketch):
+            return NotImplemented
+        return (
+            self.relative_error == other.relative_error
+            and self._count == other._count
+            and self._zero == other._zero
+            and self._sum == other._sum
+            and self._min == other._min
+            and self._max == other._max
+            and self.to_bytes() == other.to_bytes()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LatencySketch n={self._count} buckets={len(self._counts)} "
+            f"alpha={self.relative_error}>"
+        )

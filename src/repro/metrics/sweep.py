@@ -9,7 +9,9 @@ y-axis.  :class:`LoadPoint` is one (scheme, load) measurement;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.metrics.sketch import LatencySketch
 
 __all__ = ["LoadPoint", "SweepResult"]
 
@@ -26,6 +28,17 @@ class LoadPoint:
     mean_us: float
     samples: int
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Serialized :class:`~repro.metrics.sketch.LatencySketch` when the
+    #: point was measured with ``metrics="sketch"`` — O(buckets) bytes,
+    #: mergeable across points/shards; ``None`` in exact mode (where
+    #: the scalar percentiles above are the whole story).
+    latency_sketch: Optional[bytes] = None
+
+    def sketch(self) -> Optional[LatencySketch]:
+        """The point's latency sketch, deserialized (``None`` if exact)."""
+        if self.latency_sketch is None:
+            return None
+        return LatencySketch.from_bytes(self.latency_sketch)
 
     @property
     def throughput_mrps(self) -> float:
@@ -70,6 +83,22 @@ class SweepResult:
         if offered_rps > 0 and abs(best.offered_rps - offered_rps) / offered_rps > tolerance:
             return float("nan")
         return best.p99_us
+
+    def merged_sketch(self) -> Optional[LatencySketch]:
+        """One sketch folding every point's latency sketch together.
+
+        ``None`` unless **every** point carries a sketch (mixing exact
+        and sketch points would silently drop the exact samples).
+        Useful for sharded runs of one operating point: quantiles of
+        the merged sketch are quantiles of the union sample stream,
+        within the sketch error bound.
+        """
+        if not self.points or any(p.latency_sketch is None for p in self.points):
+            return None
+        merged = self.points[0].sketch()
+        for point in self.points[1:]:
+            merged.merge(point.sketch())
+        return merged
 
     def format(self) -> str:
         """Multi-line text table for this curve."""

@@ -9,11 +9,14 @@ from repro.workloads.distributions import (
     ServiceDistribution,
 )
 from repro.workloads.kv import KvOp, KvRequest, KvWorkload
+from repro.workloads.mmpp import DiurnalArrivals, MmppArrivals
 from repro.workloads.synthetic import RpcRequest, SyntheticWorkload
-from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.zipf import DriftingZipfGenerator, ZipfGenerator
 
 __all__ = [
     "BimodalDistribution",
+    "DiurnalArrivals",
+    "DriftingZipfGenerator",
     "ExponentialDistribution",
     "FixedDistribution",
     "JitterModel",
@@ -21,6 +24,7 @@ __all__ = [
     "KvRequest",
     "KvWorkload",
     "LognormalDistribution",
+    "MmppArrivals",
     "RpcRequest",
     "ServiceDistribution",
     "SyntheticWorkload",

@@ -91,6 +91,10 @@ class KvWorkload:
         # The Zipf CDF over 1M keys costs ~8 MB to build; allow sharing
         # one generator across the clients of an experiment.
         self.zipf = zipf if zipf is not None else ZipfGenerator(num_keys, zipf_skew)
+        # Drifting generators key the rank→key rotation on the request
+        # ordinal (see DriftingZipfGenerator.sample_at); plain Zipf
+        # ignores time.
+        self._drifting = hasattr(self.zipf, "sample_at")
         get_pct = round((1.0 - scan_fraction) * 100)
         self.name = f"{get_pct:g}%-GET,{100 - get_pct:g}%-SCAN"
 
@@ -102,7 +106,10 @@ class KvWorkload:
 
     def make_request(self, client_id: int, client_seq: int) -> KvRequest:
         """Draw one request payload."""
-        key = self.zipf.sample(self.rng)
+        if self._drifting:
+            key = self.zipf.sample_at(self.rng, client_seq)
+        else:
+            key = self.zipf.sample(self.rng)
         if self._is_scan():
             return KvRequest(client_id, client_seq, KvOp.SCAN, key, self.scan_count)
         return KvRequest(client_id, client_seq, KvOp.GET, key, 1)

@@ -12,6 +12,13 @@ Two baselines are kept checked in at the repo root:
   trunk-saturation grid at benchmark scale with ``fluid=0.0`` (every
   model-eligible cell solved analytically, see :mod:`repro.sim.fluid`),
   in measured points/sec.
+* ``BENCH_metrics.json`` — the metrics-collection pipeline of the
+  streaming metrics plane: per-worker result payloads serialized,
+  merged and reduced to p50/p99/p99.9, once from exact sample arrays
+  and once from mergeable latency sketches, plus the sketch ingest
+  rate (mirrors ``benchmarks/bench_metrics.py``).  Records the
+  sketch-over-exact wall-time speedup and payload shrink factors the
+  streaming plane claims (≥5× / ≥10× at 10M samples).
 
 Every ``--update`` also appends one timestamped record per bench to
 ``BENCH_history.jsonl`` (bench, commit, wall_s_p50, throughput), and
@@ -130,9 +137,120 @@ def _measure_fig18(scale: float, seed: int, rounds: int) -> dict:
     }
 
 
+#: Metrics-pipeline samples per round at scale 1.0 (the issue's
+#: 10M-sample sweep); the default 0.25 scale measures 2.5M.
+METRICS_SAMPLES = 10_000_000
+
+
+def _metrics_shards(n: int, workers: int, seed: int):
+    """Per-worker int64 latency shards (exponential ns, mean 25 µs);
+    mirrors ``benchmarks/bench_metrics.py::_make_shards``."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    samples = (rng.exponential(25_000.0, n) + 1.0).astype(np.int64)
+    return np.array_split(samples, workers)
+
+
+def _metrics_collect_exact(shards) -> dict:
+    """Mirrors ``benchmarks/bench_metrics.py::_collect_exact``."""
+    import numpy as np
+
+    from repro.metrics.latency import percentile
+
+    payloads = [shard.tobytes() for shard in shards]
+    merged = np.concatenate(
+        [np.frombuffer(payload, dtype=np.int64) for payload in payloads]
+    )
+    return {
+        "payload_bytes": sum(len(payload) for payload in payloads),
+        "p50": percentile(merged, 50),
+        "p99": percentile(merged, 99),
+        "p999": percentile(merged, 99.9),
+    }
+
+
+def _metrics_collect_sketch(sketches) -> dict:
+    """Mirrors ``benchmarks/bench_metrics.py::_collect_sketch``."""
+    from repro.metrics.sketch import LatencySketch
+
+    payloads = [sketch.to_bytes() for sketch in sketches]
+    merged = LatencySketch.from_bytes(payloads[0])
+    for payload in payloads[1:]:
+        merged.merge(LatencySketch.from_bytes(payload))
+    return {
+        "payload_bytes": sum(len(payload) for payload in payloads),
+        "p50": merged.quantile(50),
+        "p99": merged.quantile(99),
+        "p999": merged.quantile(99.9),
+    }
+
+
+#: Sketch collection finishes in well under a millisecond; running it
+#: this many times per round keeps timer noise out of the recorded rate.
+_METRICS_SKETCH_ITERS = 20
+
+
+def _measure_metrics(scale: float, seed: int, rounds: int) -> dict:
+    from repro.metrics.sketch import LatencySketch
+
+    n = max(4, int(METRICS_SAMPLES * scale))
+    shards = _metrics_shards(n, workers=4, seed=seed)
+    # Backends as they exist when a point finishes: recording happens
+    # during the simulation in both modes, so only collection is timed.
+    sketches = []
+    ingest_walls = []
+    for _ in range(rounds):
+        sketches = []
+        start = time.perf_counter()
+        for shard in shards:
+            sketch = LatencySketch()
+            sketch.add_many(shard)
+            sketches.append(sketch)
+        ingest_walls.append(time.perf_counter() - start)
+    exact_walls, sketch_walls = [], []
+    exact = sketch = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        exact = _metrics_collect_exact(shards)
+        exact_walls.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(_METRICS_SKETCH_ITERS):
+            sketch = _metrics_collect_sketch(sketches)
+        sketch_walls.append((time.perf_counter() - start) / _METRICS_SKETCH_ITERS)
+    exact_wall = statistics.median(exact_walls)
+    sketch_wall = statistics.median(sketch_walls)
+    ingest_wall = statistics.median(ingest_walls)
+    for q in ("p50", "p99", "p999"):
+        drift = abs(sketch[q] - exact[q]) / exact[q]
+        assert drift <= 0.0101, f"sketch {q} drifted {drift:.2%} from exact"
+    return {
+        "bench": "metrics",
+        "scale": scale,
+        "samples": n,
+        "workers": 4,
+        "rounds": rounds,
+        "wall_s_p50": round(exact_wall, 4),
+        "sketch_wall_s_p50": round(sketch_wall, 6),
+        "ingest_wall_s_p50": round(ingest_wall, 4),
+        "sketch_collects_per_sec": round(1.0 / sketch_wall, 1),
+        "exact_samples_per_sec": round(n / exact_wall, 1),
+        "ingest_samples_per_sec": round(n / ingest_wall, 1),
+        "collect_speedup": round(exact_wall / sketch_wall, 1),
+        "exact_payload_bytes": exact["payload_bytes"],
+        "sketch_payload_bytes": sketch["payload_bytes"],
+        "payload_shrink": round(exact["payload_bytes"] / sketch["payload_bytes"], 1),
+    }
+
+
 BASELINES = (
     ("BENCH_core.json", ("events_per_sec", "churn_events_per_sec"), _measure_core),
     ("BENCH_fig18.json", ("points_per_sec",), _measure_fig18),
+    (
+        "BENCH_metrics.json",
+        ("sketch_collects_per_sec", "exact_samples_per_sec", "ingest_samples_per_sec"),
+        _measure_metrics,
+    ),
 )
 
 
