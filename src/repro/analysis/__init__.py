@@ -1,15 +1,40 @@
-"""Analytic queueing models.
+"""Analysis plane: analytic queueing models and the detlint engine.
 
-Closed-form results used to sanity-check the simulator (the test suite
-compares simulated clusters against these) and to reason about where
-cloning pays off:
+Two halves share this package:
 
-* M/M/1 and M/M/c (Erlang-C) waiting times,
-* the latency distribution of *cloned* exponential service
-  (minimum of two draws),
-* the C-Clone utilisation doubling and its tipping point.
+* **Queueing models** (:mod:`repro.analysis.queueing`) — closed-form
+  results the test suite checks simulated clusters against: M/M/1 and
+  M/M/c (Erlang-C) waiting times, the latency distribution of cloned
+  exponential service, the C-Clone utilisation doubling.
+* **Static analysis** (:mod:`repro.analysis.core` plus the
+  ``rules_*`` modules) — the detlint AST rule engine behind
+  ``repro-netclone lint`` / ``tools/detlint.py`` / ``make lint``:
+  determinism, resource-safety and plugin-hygiene rules registered as
+  plugins on the shared registry machinery, with inline
+  ``# detlint: ignore[rule]`` suppressions and a checked-in baseline.
+
+The runtime twin of the static half (packet ledgers, RNG draw
+accounting behind ``REPRO_SANITIZE=1``) lives in
+:mod:`repro.sim.sanitize`.
 """
 
+from repro.analysis.core import (
+    DEFAULT_TARGETS,
+    Finding,
+    RuleSpec,
+    describe_rules,
+    filter_baselined,
+    format_findings,
+    get_rule,
+    iter_rules,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    register_rule,
+    rule_names,
+    unregister_rule,
+    write_baseline,
+)
 from repro.analysis.queueing import (
     cclone_effective_utilisation,
     cloned_exponential_p99,
@@ -20,10 +45,25 @@ from repro.analysis.queueing import (
 )
 
 __all__ = [
+    "DEFAULT_TARGETS",
+    "Finding",
+    "RuleSpec",
     "cclone_effective_utilisation",
     "cloned_exponential_p99",
+    "describe_rules",
     "erlang_c",
     "exponential_p99",
+    "filter_baselined",
+    "format_findings",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
     "mm1_mean_wait",
     "mmc_mean_wait",
+    "register_rule",
+    "rule_names",
+    "unregister_rule",
+    "write_baseline",
 ]

@@ -1,0 +1,230 @@
+"""Resource rules: acquire-without-release hazard classes.
+
+* ``packet-leak`` — a ``PacketPool.acquire`` result that is neither
+  released nor handed off starves the free list and (worse) silently
+  shifts every later uid if someone "fixes" it, breaking goldens;
+* ``dropped-handle`` — ``sim.at`` / ``sim.schedule`` allocate a
+  cancellable :class:`~repro.sim.core.EventHandle`; discarding it
+  means nobody can ever cancel, so the call belongs on the handle-free
+  fast lane (``call_at`` / ``call_after``, bit-identical seq-for-seq);
+* ``shm-leak`` — ``multiprocessing.shared_memory`` segments without an
+  owner-side ``unlink()`` outlive the process in ``/dev/shm``.
+
+The checkers are deliberately intra-function heuristics: returning,
+storing, or passing an acquired packet counts as an ownership hand-off
+(the receiver releases it), so the rule only fires when a packet
+provably cannot escape the function alive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.core import RuleContext, RuleSpec, register_rule
+
+__all__ = ["DROPPED_HANDLE", "PACKET_LEAK", "SHM_LEAK"]
+
+PACKET_LEAK = "packet-leak"
+DROPPED_HANDLE = "dropped-handle"
+SHM_LEAK = "shm-leak"
+
+
+def _receiver_text(node: ast.AST) -> Optional[str]:
+    """Dotted source text of an attribute-chain receiver, or ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _own_nodes(fn: ast.AST) -> List[ast.AST]:
+    """Every node of *fn*'s body, excluding nested scopes' interiors."""
+    nodes: List[ast.AST] = []
+    stack: List[ast.AST] = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _contains_name(node: Optional[ast.AST], name: str) -> bool:
+    if node is None:
+        return False
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+class _PacketLeakChecker:
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: RuleContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AST, ctx: RuleContext) -> None:
+        self._check(node, ctx)
+
+    # ------------------------------------------------------------------
+    def _check(self, fn: ast.AST, ctx: RuleContext) -> None:
+        nodes = _own_nodes(fn)
+        acquires = []
+        for node in nodes:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                receiver = _receiver_text(node.func.value)
+                if receiver is not None and "pool" in receiver.lower():
+                    acquires.append((node, receiver))
+        if not acquires:
+            return
+        qualname = f"{ctx.qualname}.{fn.name}" if ctx.qualname else fn.name
+        for call, receiver in acquires:
+            parent = ctx.parent(call)
+            if isinstance(parent, ast.Expr):
+                ctx.report(
+                    call,
+                    f"{receiver}.acquire(...) result is discarded in "
+                    f"{qualname}(); the packet can never be released",
+                )
+                continue
+            if not (
+                isinstance(parent, ast.Assign)
+                and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)
+            ):
+                continue  # returned / passed / stored directly: handed off
+            name = parent.targets[0].id
+            if not self._escapes(nodes, call, name):
+                ctx.report(
+                    call,
+                    f"packet acquired into {name!r} is neither released nor "
+                    f"handed off on any path of {qualname}()",
+                )
+
+    @staticmethod
+    def _escapes(nodes: List[ast.AST], acquire: ast.Call, name: str) -> bool:
+        for node in nodes:
+            if isinstance(node, ast.Call) and node is not acquire:
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "release"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                ):
+                    return True  # explicit release
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if _contains_name(arg, name):
+                        return True  # handed to a callee
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if _contains_name(node.value, name):
+                    return True  # ownership moves to the caller
+            elif isinstance(node, ast.Assign):
+                if _contains_name(node.value, name) and not any(
+                    isinstance(target, ast.Name) and target.id == name
+                    for target in node.targets
+                ):
+                    return True  # aliased or stored into a structure
+        return False
+
+
+class _DroppedHandleChecker:
+    def visit_Expr(self, node: ast.Expr, ctx: RuleContext) -> None:
+        call = node.value
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in ("at", "schedule")
+        ):
+            return
+        receiver = _receiver_text(call.func.value)
+        if receiver is None or not (
+            receiver == "sim" or receiver.endswith(".sim")
+        ):
+            return
+        fast = "call_at" if call.func.attr == "at" else "call_after"
+        ctx.report(
+            node,
+            f"cancellable handle from {receiver}.{call.func.attr}(...) is "
+            f"dropped; use {receiver}.{fast}(...) on the handle-free fast "
+            "lane (same seq consumption, bit-identical order) or store the "
+            "handle for cancel",
+        )
+
+
+class _ShmLeakChecker:
+    def __init__(self) -> None:
+        self._creates: List[ast.Call] = []
+        self._has_unlink = False
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        func = node.func
+        callee = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name)
+            else None
+        )
+        if callee == "unlink":
+            self._has_unlink = True
+        elif callee == "SharedMemory" and any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ):
+            self._creates.append(node)
+
+    def finish(self, ctx: RuleContext) -> None:
+        if self._has_unlink:
+            return
+        for call in self._creates:
+            ctx.report(
+                call,
+                "shared_memory segment created without an owner-side "
+                f"unlink() anywhere in {ctx.module}; leaked segments "
+                "outlive the process",
+            )
+
+
+register_rule(
+    RuleSpec(
+        name=PACKET_LEAK,
+        description="PacketPool.acquire without a release or ownership "
+        "hand-off on the enclosing function's exit paths",
+        make_checker=_PacketLeakChecker,
+        severity="error",
+        module=__name__,
+    )
+)
+
+register_rule(
+    RuleSpec(
+        name=DROPPED_HANDLE,
+        description="sim.at/sim.schedule handles dropped without "
+        "cancel-or-store; fire-and-forget events belong on call_at/call_after",
+        make_checker=_DroppedHandleChecker,
+        severity="warning",
+        module=__name__,
+    )
+)
+
+register_rule(
+    RuleSpec(
+        name=SHM_LEAK,
+        description="multiprocessing.shared_memory segments created without "
+        "an owner-side unlink anywhere in the module",
+        make_checker=_ShmLeakChecker,
+        severity="error",
+        module=__name__,
+    )
+)

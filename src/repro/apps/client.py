@@ -174,6 +174,15 @@ class OpenLoopClient(Host):
         self._arrivals = buf
         self._arrival_idx = 0
 
+    def flush_predrawn(self) -> None:
+        """Release any pre-drawn, unsent arrival packets to the pool.
+
+        Drain-time bookkeeping for harnesses (scenario runner, the
+        ``REPRO_SANITIZE`` ledgers): packets sitting in the pre-draw
+        buffer are held legitimately and must not count as leaks.
+        """
+        self._flush_arrivals()
+
     def _flush_arrivals(self) -> None:
         """Discard pre-drawn arrivals (their packets go back to the pool).
 

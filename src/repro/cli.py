@@ -16,19 +16,28 @@ Examples::
     repro-netclone fig16 resources --seed 7
     repro-netclone run-scenario kill-during-rebuild --report-dir reports/
     repro-netclone run-scenario all --jobs 4 --scale 0.25
+    repro-netclone lint
+    repro-netclone lint src/repro/sim --findings-json findings.json
+    repro-netclone lint --list-rules
+    repro-netclone lint --update-baseline
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import json
 import os
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.errors import ExperimentError
 from repro.experiments.placements import canonical_placement, describe_placements
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import (
+    UNREQUESTED,
+    gate_harness_axes,
+    get_experiment,
+    list_experiments,
+)
 from repro.experiments.schemes import describe_schemes
 from repro.experiments.topologies import canonical_topology, describe_topologies
 from repro.experiments.workloads_registry import canonical_workload, describe_workloads
@@ -125,7 +134,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-scenario only: write each ScenarioReport as "
         "<name>.json into this directory (created if missing)",
     )
+    lint = parser.add_argument_group(
+        "lint options", "only meaningful with the 'lint' subcommand"
+    )
+    lint.add_argument(
+        "--baseline",
+        default="detlint-baseline.json",
+        help="baseline file of accepted legacy findings "
+        "(default: detlint-baseline.json; missing file = empty baseline)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit",
+    )
+    lint.add_argument(
+        "--findings-json",
+        default=None,
+        metavar="FILE",
+        help="also write every finding (with its baselined flag) as JSON",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered lint rules and exit",
+    )
     return parser
+
+
+def _run_lint(targets: List[str], args: argparse.Namespace) -> int:
+    """``lint`` subcommand: the detlint rule engine over the tree.
+
+    Positional arguments after ``lint`` are files or directories
+    (default: the full ``src/repro`` + ``examples`` + ``tools`` tree,
+    anchored at the current directory).  Exit code 1 on any finding not
+    covered by the baseline, whatever its severity.
+    """
+    from repro.analysis import (
+        describe_rules,
+        filter_baselined,
+        format_findings,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print("registered lint rules:")
+        for line in describe_rules():
+            print(f"  {line}")
+        return 0
+    try:
+        findings = lint_paths(targets or None)
+    except ExperimentError as exc:
+        print(f"lint: {exc}")
+        return 2
+    if args.update_baseline:
+        write_baseline(findings, args.baseline)
+        print(f"recorded {len(findings)} finding(s) in {args.baseline}")
+        return 0
+    fresh, baselined = filter_baselined(findings, load_baseline(args.baseline))
+    if args.findings_json:
+        fresh_ids = {id(finding) for finding in fresh}
+        payload = {
+            "new": len(fresh),
+            "baselined": baselined,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "severity": finding.severity,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "scope": finding.scope,
+                    "message": finding.message,
+                    "baselined": id(finding) not in fresh_ids,
+                }
+                for finding in findings
+            ],
+        }
+        with open(args.findings_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if fresh:
+        print(format_findings(fresh))
+    suffix = f" ({baselined} baselined)" if baselined else ""
+    if fresh:
+        print(f"lint: {len(fresh)} new finding(s){suffix}")
+        return 1
+    print(f"lint: clean{suffix}")
+    return 0
 
 
 def _run_scenarios(names: List[str], args: argparse.Namespace) -> int:
@@ -188,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiments = experiments[1:]
     if experiments and experiments[0] == "run-scenario":
         return _run_scenarios(experiments[1:], args)
+    if experiments and experiments[0] == "lint":
+        return _run_lint(experiments[1:], args)
     if args.topology is not None:
         # Fail fast (and normalise aliases) before any experiment runs;
         # inline parameters ride along in canonical key=value form.
@@ -207,6 +307,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  scenarios — list the chaos-scenario catalog")
         print("  run-scenario — run catalog scenarios / TOML specs with "
               "invariant checks")
+        print("  lint — run the detlint determinism/resource rules "
+              "(see also --list-rules)")
         return 0
     for experiment_id in experiments:
         if experiment_id == "scenarios":
@@ -236,19 +338,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Newer axes (--workload, --metrics) are opt-in per harness:
         # passed only where the signature declares them, and asking an
         # unaware harness for one is an error, not a silent ignore.
-        accepted = inspect.signature(harness).parameters
-        for flag, value, default in (
-            ("workload", args.workload, None),
-            ("metrics", args.metrics, "exact"),
-        ):
-            if flag in accepted:
-                kwargs[flag] = default if value is None else value
-            elif value is not None:
-                print(
-                    f"experiment {experiment_id!r} has no --{flag} axis "
-                    f"(it accepts: {', '.join(accepted)})"
+        try:
+            kwargs.update(
+                gate_harness_axes(
+                    harness,
+                    experiment_id,
+                    requested={
+                        "workload": (
+                            UNREQUESTED if args.workload is None else args.workload
+                        ),
+                        "metrics": (
+                            UNREQUESTED if args.metrics is None else args.metrics
+                        ),
+                    },
+                    defaults={"workload": None, "metrics": "exact"},
                 )
-                return 2
+            )
+        except ExperimentError as exc:
+            print(exc)
+            return 2
         harness(**kwargs)
     return 0
 

@@ -53,6 +53,7 @@ from repro.metrics.sweep import LoadPoint, SweepResult
 from repro.net.host import Host
 from repro.net.packet import PacketPool
 from repro.net.topology import Fabric
+from repro.sim import sanitize
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.units import ms
@@ -225,11 +226,22 @@ class Cluster:
             dict(config.placement_params)
         )
         self.sim = Simulator()
-        self.rngs = RngRegistry(config.seed)
+        # REPRO_SANITIZE=1 swaps in the ledgered pool and draw-counting
+        # registry from repro.sim.sanitize; seeds and uid streams are
+        # identical either way, so sanitized runs measure the same
+        # experiment and merely know where every packet went.
+        sanitizing = sanitize.enabled()
+        self.rngs: RngRegistry = (
+            sanitize.SanitizingRngRegistry(config.seed)
+            if sanitizing
+            else RngRegistry(config.seed)
+        )
         #: Per-cluster packet recycler and uid authority: every client
         #: request and server response cycles through it, and uid
         #: streams restart at 1 for each built cluster.
-        self.packet_pool = PacketPool()
+        self.packet_pool: PacketPool = (
+            sanitize.SanitizingPacketPool() if sanitizing else PacketPool()
+        )
         self.recorder = LatencyRecorder(
             warmup_ns=config.warmup_ns, end_ns=config.end_ns, mode=config.metrics
         )
@@ -240,7 +252,7 @@ class Cluster:
         # drain's response tail (or dividing by a window that includes
         # the drain) would misstate utilization either way.
         self._trunk_stats: Optional[Dict[str, float]] = None
-        self.sim.at(config.end_ns, self._capture_trunk_stats)
+        self.sim.call_at(config.end_ns, self._capture_trunk_stats)
         self.tors: List[Any] = list(self.topology.tors)
         self.switches: List[Any] = list(self.topology.switches)
         self.switch = self.tors[0]
@@ -438,6 +450,27 @@ class Cluster:
                 gc.enable()
 
     # ------------------------------------------------------------------
+    def sanitize_report(self) -> Optional["sanitize.SanitizerReport"]:
+        """The sanitizer ledgers' view of this run, or ``None`` when off.
+
+        Clients holding pre-drawn arrival packets flush them first —
+        those are legitimately out of the pool, not leaks.
+        """
+        pool = self.packet_pool
+        if not isinstance(pool, sanitize.SanitizingPacketPool):
+            return None
+        for client in self.clients:
+            client.flush_predrawn()
+        return sanitize.build_report(pool, self.rngs)
+
+    def sanitize_check(self) -> Optional["sanitize.SanitizerReport"]:
+        """Raise :class:`~repro.sim.sanitize.SanitizerError` on leaks."""
+        report = self.sanitize_report()
+        if report is not None and not report.clean:
+            raise sanitize.SanitizerError(report.format())
+        return report
+
+    # ------------------------------------------------------------------
     def load_point(self) -> LoadPoint:
         """Reduce the finished run to one measured point."""
         recorder = self.recorder
@@ -530,11 +563,18 @@ def placement_override_kwargs(
 
 
 def run_point(config: ClusterConfig) -> LoadPoint:
-    """Build, run and reduce one operating point."""
+    """Build, run and reduce one operating point.
+
+    Under ``REPRO_SANITIZE=1`` the point is also checked against the
+    sanitizer ledgers — a leaked packet fails the point with the
+    acquiring call site in the error.
+    """
     cluster = Cluster(config)
     cluster.start()
     cluster.run()
-    return cluster.load_point()
+    point = cluster.load_point()
+    cluster.sanitize_check()
+    return point
 
 
 def run_sweep(

@@ -79,8 +79,8 @@ def collect(
     monitor = IntervalMonitor(window_ns=sec(1), horizon_ns=sec(horizon_s))
     cluster.recorder.completion_monitor = monitor
     switch = cluster.switch
-    cluster.sim.at(sec(FAIL_AT_S), switch.fail)
-    cluster.sim.at(sec(RECOVER_AT_S), switch.recover, sec(REINIT_S))
+    cluster.sim.call_at(sec(FAIL_AT_S), switch.fail)
+    cluster.sim.call_at(sec(RECOVER_AT_S), switch.recover, sec(REINIT_S))
     cluster.start()
     cluster.run()
     rates_krps = [rate / 1e3 for rate in monitor.rates_per_second()[:horizon_s]]
@@ -148,10 +148,10 @@ def _server_failure_cell(args: Tuple[str, float, int, Dict[str, Any]]) -> Dict[s
     cluster.recorder.completion_monitor = completions
     trunks = TrunkByteMonitor(cluster.sim, fabric.trunks, SF_WINDOW, SF_HORIZON)
     victim = cluster.servers[SF_VICTIM]
-    cluster.sim.at(SF_KILL_AT, fabric.fail_host, victim)
-    cluster.sim.at(SF_KILL_AT, handler.remove_server, SF_VICTIM)
-    cluster.sim.at(SF_RESTORE_AT, fabric.restore_host, victim)
-    cluster.sim.at(SF_RESTORE_AT, handler.restore_server, SF_VICTIM)
+    cluster.sim.call_at(SF_KILL_AT, fabric.fail_host, victim)
+    cluster.sim.call_at(SF_KILL_AT, handler.remove_server, SF_VICTIM)
+    cluster.sim.call_at(SF_RESTORE_AT, fabric.restore_host, victim)
+    cluster.sim.call_at(SF_RESTORE_AT, handler.restore_server, SF_VICTIM)
     cluster.start()
     cluster.run()
     victim_rack = fabric.rack_of("server", SF_VICTIM)

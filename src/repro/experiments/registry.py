@@ -15,11 +15,61 @@ ignore them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
 
-__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "register"]
+__all__ = [
+    "EXPERIMENTS",
+    "UNREQUESTED",
+    "gate_harness_axes",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]
+
+#: Sentinel for :func:`gate_harness_axes`: the caller did not ask for
+#: this axis (``None`` can be a real value, e.g. ``fluid=None`` selects
+#: the per-packet path).
+UNREQUESTED = object()
+
+
+def gate_harness_axes(
+    harness: Callable[..., Any],
+    experiment_id: str,
+    requested: Dict[str, Any],
+    defaults: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Optional-axis kwargs for *harness*, gated on its signature.
+
+    Newer axes (``workload``, ``metrics``, ``fluid``, ...) are opt-in
+    per harness.  For each axis in *requested*: if the harness's
+    signature declares it, the requested value is passed through
+    (:data:`UNREQUESTED` falls back to *defaults*, or omits the axis);
+    if the signature does **not** declare it and the caller actually
+    asked, this raises :class:`ExperimentError` naming what the harness
+    does accept — an unaware harness must error, never silently ignore
+    a flag.  The CLI and the standalone tools
+    (``tools/profile_hotpath.py``, ``tools/rss_guard.py``) all route
+    their harness calls through here.
+    """
+    accepted = inspect.signature(harness).parameters
+    kwargs: Dict[str, Any] = {}
+    defaults = defaults or {}
+    for axis, value in requested.items():
+        if axis in accepted:
+            if value is UNREQUESTED:
+                if axis in defaults:
+                    kwargs[axis] = defaults[axis]
+            else:
+                kwargs[axis] = value
+        elif value is not UNREQUESTED:
+            raise ExperimentError(
+                f"experiment {experiment_id!r} has no --{axis} axis "
+                f"(it accepts: {', '.join(accepted)})"
+            )
+    return kwargs
 
 EXPERIMENTS: Dict[str, Callable[..., str]] = {}
 _DESCRIPTIONS: Dict[str, str] = {}

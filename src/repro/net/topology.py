@@ -654,7 +654,7 @@ class SpineLeafFabric(Fabric):
         if getattr(switch, "down", False):
             switch.recover(reinit_delay_ns)
         if reinit_delay_ns > 0:
-            self.sim.schedule(
+            self.sim.call_after(
                 reinit_delay_ns, self._mark_spine_up, spine, self._spine_epoch[spine]
             )
         else:

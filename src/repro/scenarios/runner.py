@@ -403,11 +403,11 @@ def run_scenario(
     execution = _ScenarioExecution(scenario, cluster)
     sim = cluster.sim
     for event in scenario.events:
-        sim.at(event.time_ns, execution.apply, event)
+        sim.call_at(event.time_ns, execution.apply, event)
     # Checkpoints registered after events: a same-time snapshot sees
     # the event's effect (sequence numbers break the tie in our favor).
     for time_ns, label in _checkpoint_schedule(scenario):
-        sim.at(time_ns, execution.take_checkpoint, label)
+        sim.call_at(time_ns, execution.take_checkpoint, label)
     cluster.start()
     cluster.run()
     execution.take_checkpoint("end")
@@ -418,7 +418,11 @@ def run_scenario(
     drain_events = sim.run(max_events=drain_limit)
     drained = sim.peek() is None
     for client in cluster.clients:
-        client._flush_arrivals()  # release pre-drawn packets to the pool
+        client.flush_predrawn()  # release pre-drawn packets to the pool
+    # Under REPRO_SANITIZE=1 the pool's ledger must be empty now: every
+    # life acquired over the whole run (failure events included) came
+    # back.  A leak fails the scenario with the acquiring call site.
+    cluster.sanitize_check()
 
     final = execution.snapshot("settled")
     final["unreachable"] = compute_unreachable(

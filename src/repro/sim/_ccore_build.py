@@ -32,7 +32,9 @@ __all__ = ["load_ccore"]
 
 
 def _debug(message: str) -> None:
-    if os.environ.get("REPRO_SIM_DEBUG"):
+    # Build-time diagnostics toggle: runs only while the C core
+    # compiles, never on a simulation path.
+    if os.environ.get("REPRO_SIM_DEBUG"):  # detlint: ignore[env-read] -- build diagnostics, not a sim path
         print(f"repro.sim._ccore_build: {message}", file=sys.stderr)
 
 
@@ -77,7 +79,9 @@ def _build(source: Path, target: Path) -> bool:
 
 def load_ccore():
     """Import (building if needed) the ``_ccore`` module, or ``None``."""
-    if os.environ.get("REPRO_PURE_SIM"):
+    # Engine selection happens once at import; the chosen Simulator
+    # class never re-reads the environment.
+    if os.environ.get("REPRO_PURE_SIM"):  # detlint: ignore[env-read] -- one-time engine selection at import
         _debug("REPRO_PURE_SIM set; using the pure-Python engine")
         return None
     package_dir = Path(__file__).resolve().parent

@@ -123,7 +123,7 @@ class Timeout(ProcessEvent):
     def __init__(self, sim: Simulator, delay: int, value: Any = None):
         super().__init__(sim)
         self.delay = delay
-        sim.schedule(delay, self.succeed, value)
+        sim.call_after(delay, self.succeed, value)
 
 
 class Process(ProcessEvent):
@@ -146,7 +146,7 @@ class Process(ProcessEvent):
         self._waiting_on: Optional[ProcessEvent] = None
         # Start on a fresh event-loop turn so construction order does not
         # leak into execution order at time zero.
-        sim.schedule(0, self._resume, None, None)
+        sim.call_after(0, self._resume, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -170,7 +170,7 @@ class Process(ProcessEvent):
             except ValueError:
                 pass
             self._waiting_on = None
-        self.sim.schedule(0, self._resume, None, Interrupt(cause))
+        self.sim.call_after(0, self._resume, None, Interrupt(cause))
 
     # -- driving -------------------------------------------------------
     def _on_event(self, event: ProcessEvent) -> None:
@@ -222,7 +222,7 @@ class AnyOf(ProcessEvent):
         super().__init__(sim)
         self.events = list(events)
         if not self.events:
-            sim.schedule(0, self.succeed, [])
+            sim.call_after(0, self.succeed, [])
             return
         for event in self.events:
             event.add_callback(self._child_triggered)
@@ -251,7 +251,7 @@ class AllOf(ProcessEvent):
         self.events = list(events)
         self._remaining = len(self.events)
         if self._remaining == 0:
-            sim.schedule(0, self.succeed, [])
+            sim.call_after(0, self.succeed, [])
             return
         for event in self.events:
             event.add_callback(self._child_triggered)

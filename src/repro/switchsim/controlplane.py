@@ -39,7 +39,7 @@ class ControlPlane:
         start = self._free_at if self._free_at > now else now
         apply_at = start + self.op_latency_ns
         self._free_at = start + self.min_gap_ns
-        self.sim.at(apply_at, self._apply, operation, args)
+        self.sim.call_at(apply_at, self._apply, operation, args)
         return apply_at
 
     def _apply(self, operation: Callable[..., Any], args: tuple) -> None:

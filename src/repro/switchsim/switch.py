@@ -437,7 +437,7 @@ class ProgrammableSwitch:
         if reinit_delay_ns <= 0:
             self.down = False
         else:
-            self.sim.schedule(reinit_delay_ns, self._finish_recovery, self._power_epoch)
+            self.sim.call_after(reinit_delay_ns, self._finish_recovery, self._power_epoch)
 
     def _finish_recovery(self, epoch: int) -> None:
         # A fail() during the re-init delay bumps the epoch; the stale

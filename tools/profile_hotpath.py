@@ -68,9 +68,17 @@ def _run_churn(scale: float, seed: int, packet: bool) -> None:
 
 def _run_fig18(scale: float, seed: int, packet: bool) -> None:
     from repro.experiments import fig18_trunk_saturation
+    from repro.experiments.registry import gate_harness_axes
 
-    fluid = None if packet else 0.0
-    results = fig18_trunk_saturation.collect(scale=scale, seed=seed, fluid=fluid)
+    # The fluid axis is signature-gated exactly like the CLI's
+    # --workload/--metrics: if the harness ever loses it, this errors
+    # instead of silently profiling the wrong path.
+    kwargs = gate_harness_axes(
+        fig18_trunk_saturation.collect,
+        "fig18",
+        requested={"fluid": None if packet else 0.0},
+    )
+    results = fig18_trunk_saturation.collect(scale=scale, seed=seed, **kwargs)
     assert sum(len(cells) for cells in results.values()) > 0
 
 
